@@ -1,0 +1,35 @@
+"""Paper Figs. 10 & 11: Radiosity 24-thread quantification tables.
+
+Fig. 10 — contention probability along the critical path (paper:
+tq[0].qlock 78.69% contended on the path, 7.01x invocation increase).
+Fig. 11 — critical section sizes (paper: 39.15% CP from 4.76% average
+hold, an 8.22x amplification).
+"""
+
+import pytest
+
+from repro.experiments import fig10_11
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig10_11")
+def test_fig10_11(benchmark, show):
+    result = run_once(benchmark, fig10_11.run, nthreads=24, seed=0)
+    show(result.render())
+    f10 = result.values["fig10"]
+    f11 = result.values["fig11"]
+    tq0 = "tq[0].qlock"
+
+    # Contention amplification (paper: 78.69% on-CP contention, 7.01x).
+    assert f10[tq0]["cont_prob_on_cp"] > 0.6
+    assert f10[tq0]["invocation_increase"] > 3.0
+    assert f10[tq0]["invocations_on_cp"] > f10[tq0]["avg_invocations"]
+
+    # Size amplification (paper: 8.22x).
+    assert f11[tq0]["size_increase"] > 3.0
+    assert f11[tq0]["cp_fraction"] > f11[tq0]["avg_hold_fraction"]
+
+    # freeInter: lower on-CP contention than tq[0] (paper: 9.31% vs 78.69%).
+    if "freeInter" in f10:
+        assert f10["freeInter"]["cont_prob_on_cp"] < f10[tq0]["cont_prob_on_cp"]

@@ -1,0 +1,37 @@
+"""Paper Figs. 13 & 14: quantification of the optimized Radiosity.
+
+After the two-lock-queue optimization at 24 threads the new top lock is
+tq[0].q_head_lock with a much smaller CP share than tq[0].qlock had
+(paper: 2.53% vs 39.15%) and lower on-path contention (53.62% vs
+78.69%).
+"""
+
+import pytest
+
+from repro.experiments import fig10_11, fig13_14
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig13_14")
+def test_fig13_14(benchmark, show):
+    optimized = run_once(benchmark, fig13_14.run, nthreads=24, seed=0)
+    show(optimized.render())
+    baseline = fig10_11.run(nthreads=24, seed=0)
+
+    f13 = optimized.values["fig13"]
+    f14 = optimized.values["fig14"]
+    b11 = baseline.values["fig11"]
+
+    top_name = max(f13, key=lambda k: f13[k]["cp_fraction"])
+    assert top_name == "tq[0].q_head_lock"
+
+    # The optimized top lock's CP share is far below the original
+    # tq[0].qlock share (paper: 2.53% vs 39.15%).
+    assert f13[top_name]["cp_fraction"] < 0.8 * b11["tq[0].qlock"]["cp_fraction"]
+
+    # Contention on the path drops relative to the original lock.
+    b10 = baseline.values["fig10"]
+    assert (
+        f14[top_name]["cont_prob_on_cp"] <= b10["tq[0].qlock"]["cont_prob_on_cp"]
+    )

@@ -1,0 +1,25 @@
+"""Paper Fig. 7: representative micro-benchmark execution timeline.
+
+Regenerates the execution chart showing L1's contended critical sections
+overlapped by the critical path while the L2 chain forms the path.
+"""
+
+import pytest
+
+from repro.experiments import fig7
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7(benchmark, show):
+    result = run_once(benchmark, fig7.run, nthreads=4, width=96)
+    show(result.render())
+    # L2 appears once per thread on the path; L1 only via thread 0.
+    assert result.values["l2_on_cp"] == 4
+    assert result.values["l1_on_cp"] == 1
+    chart = result.extra_text
+    # Critical path marking present: both uppercase CS and lowercase
+    # (off-path) sections exist.
+    assert any(c.isupper() for c in chart)
+    assert "b" in chart  # off-path L1 sections render lowercase

@@ -1,0 +1,57 @@
+"""Paper Fig. 8: the two most critical locks across all seven applications.
+
+Regenerates the per-application CP Time % vs Wait Time % comparison at
+24 threads (OpenLDAP at 16).  Shape assertions follow the paper's
+findings: Wait Time underestimates Radiosity's tq[0].qlock, Raytrace's
+mem and TSP's Qlock; UTS's stack locks are near-zero wait yet on the
+path; OpenLDAP shows no bottleneck.
+"""
+
+import pytest
+
+from repro.experiments import fig8
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8(benchmark, show):
+    result = run_once(benchmark, fig8.run, nthreads=24)
+    show(result.render())
+    v = result.values
+
+    def top(app):
+        name = max(v[app], key=lambda k: v[app][k]["cp_fraction"])
+        return name, v[app][name]
+
+    # Radiosity: tq[0].qlock dominant, CP Time >> Wait Time.
+    name, m = top("radiosity")
+    assert name == "tq[0].qlock"
+    assert m["cp_fraction"] > 0.25
+    assert m["cp_fraction"] > 2 * m["wait_fraction"]
+
+    # TSP: Qlock dominates the critical path (paper ~68%).
+    name, m = top("tsp")
+    assert name == "Q.qlock"
+    assert m["cp_fraction"] > 0.4
+    assert m["cp_fraction"] > 2 * m["wait_fraction"]
+
+    # Raytrace: mem lock underestimated by wait time.
+    name, m = top("raytrace")
+    assert name == "mem"
+    assert m["cp_fraction"] > m["wait_fraction"]
+
+    # UTS: a stackLock on the path despite negligible wait (paper ~5%).
+    name, m = top("uts")
+    assert name.startswith("stackLock")
+    assert m["cp_fraction"] > 0.02
+    assert m["wait_fraction"] < 0.05
+
+    # Water & Volrend: no dominant lock bottleneck.
+    for app in ("water-nsquared", "volrend"):
+        _, m = top(app)
+        assert m["cp_fraction"] < 0.12
+
+    # OpenLDAP: the mature-code negative result.
+    _, m = top("openldap")
+    assert m["cp_fraction"] < 0.05

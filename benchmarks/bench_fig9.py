@@ -1,0 +1,31 @@
+"""Paper Fig. 9: Radiosity's top locks vs thread count (4/8/16/24).
+
+Shape assertions: tq[0].qlock's CP share grows monotonically with
+threads and dominates beyond 8 threads, reaching the tens of percent at
+24 (paper: 39.15%) while Wait Time stays far lower (paper: 6.40%).
+"""
+
+import pytest
+
+from repro.experiments import fig9
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9(benchmark, show):
+    result = run_once(benchmark, fig9.run, thread_counts=(4, 8, 16, 24), seed=0)
+    show(result.render())
+    v = result.values
+    tq0 = "tq[0].qlock"
+
+    shares = [v[n][tq0]["cp_fraction"] for n in (4, 8, 16, 24)]
+    assert shares == sorted(shares), "tq[0].qlock CP share must grow with threads"
+    assert shares[-1] > 0.25  # paper: ~39% at 24 threads
+
+    # Beyond 8 threads tq[0].qlock is the most critical lock.
+    for n in (16, 24):
+        assert v[n][tq0]["cp_fraction"] > v[n]["freeInter"]["cp_fraction"]
+
+    # The CP weight far exceeds the wait weight at 24 threads.
+    assert v[24][tq0]["cp_fraction"] > 2 * v[24][tq0]["wait_fraction"]

@@ -1,0 +1,60 @@
+"""Extension: scalability forecast from a small profile vs measured scaling.
+
+The paper's motivation is identifying "what critical section bottlenecks
+will show up if more threads are employed".  This bench profiles
+Radiosity and TSP at 4 threads, forecasts the bottleneck lock and the
+completion-time roofline, and checks both against actual 16- and
+24-thread runs.
+"""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.forecast import forecast
+from repro.tables import format_table
+from repro.workloads import Radiosity, TSP
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="forecast")
+def test_forecast_vs_measured(benchmark, show):
+    def experiment():
+        rows = []
+        checks = []
+        for name, make, expected_lock in (
+            ("radiosity", lambda: Radiosity(), "tq[0].qlock"),
+            ("tsp", lambda: TSP(), "Q.qlock"),
+        ):
+            profile = analyze(make().run(nthreads=4, seed=0).trace)
+            f = forecast(profile)
+            first = f.first_saturating_lock()
+            checks.append(first.name == expected_lock)
+            for n in (16, 24):
+                measured = make().run(nthreads=n, seed=0).completion_time
+                bound = f.completion_time(n)
+                rows.append(
+                    [
+                        f"{name} @{n}",
+                        first.name,
+                        f"{bound:.2f}",
+                        f"{measured:.2f}",
+                        f"{measured / bound:.2f}x",
+                    ]
+                )
+                checks.append(bound <= measured * 1.05)  # valid lower bound
+            # The forecast's predicted bottleneck matches the measured one.
+            measured_top = analyze(
+                make().run(nthreads=24, seed=0).trace
+            ).report.top_locks(1)[0].name
+            checks.append(measured_top == expected_lock)
+        return rows, checks
+
+    rows, checks = run_once(benchmark, experiment)
+    show(format_table(
+        ["Run", "Forecast bottleneck (from 4T profile)", "Forecast bound",
+         "Measured", "Measured/bound"],
+        rows,
+        title="[forecast] roofline forecast from a 4-thread profile",
+    ))
+    assert all(checks)

@@ -1,0 +1,76 @@
+"""Extension bench: the Eyerman-Eeckhout model [10] vs measured scaling.
+
+The paper's §III.B builds on [10]'s insight that contended critical
+sections bound speedup; this bench fits the model from per-thread-count
+profiles of a strong-scaling workload (fixed total work) and compares
+its prediction with the simulator's measured speedup — confirming both
+why [10] is right about the ceiling and why per-lock critical-path
+analysis is needed to know *which* lock imposes it.
+"""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.eyerman import fit_model
+from repro.tables import format_table
+from repro.workloads import SyntheticLocks
+
+from conftest import run_once
+
+TOTAL_OPS = 320
+CS_COST = 0.15
+NONCRIT_COST = 0.45
+
+
+def make_workload(n: int) -> SyntheticLocks:
+    """Fixed total work split over n threads (strong scaling)."""
+    return SyntheticLocks(
+        nlocks=1,
+        zipf_skew=0.0,
+        ops_per_thread=TOTAL_OPS // n,
+        cs_cost=CS_COST,
+        noncrit_cost=NONCRIT_COST,
+    )
+
+
+@pytest.mark.benchmark(group="model")
+def test_model_vs_simulated_scaling(benchmark, show):
+    def experiment():
+        t1 = make_workload(1).run(nthreads=1, seed=5).completion_time
+        rows = []
+        measured = {}
+        predicted = {}
+        for n in (2, 4, 8, 16, 32):
+            res = make_workload(n).run(nthreads=n, seed=5)
+            model = fit_model(analyze(res.trace))
+            measured[n] = t1 / res.completion_time
+            predicted[n] = model.speedup(n)
+            rows.append(
+                [
+                    n,
+                    f"{measured[n]:.2f}",
+                    f"{predicted[n]:.2f}",
+                    f"{model.f_crit:.3f}",
+                    f"{model.p_ctn:.3f}",
+                ]
+            )
+        return rows, measured, predicted
+
+    rows, measured, predicted = run_once(benchmark, experiment)
+    show(format_table(
+        ["Threads", "Measured speedup", "Model speedup", "fitted f_crit",
+         "fitted p_ctn"],
+        rows,
+        title="[model] Eyerman-Eeckhout [10] vs simulator "
+        "(1 hot lock, cs:noncrit = 1:3, fixed total work)",
+    ))
+    # Scaling saturates once the hot lock serializes (the [10] effect):
+    # the marginal gain collapses at high thread counts.
+    assert measured[8] / measured[2] > measured[32] / measured[8]
+    # The true serialization bound: total CS time / total time.
+    exact_ceiling = (CS_COST + NONCRIT_COST) / CS_COST
+    assert measured[32] < exact_ceiling * 1.1
+    # The fitted model tracks the measurement within 2x at every count.
+    for n in measured:
+        assert predicted[n] / measured[n] < 2.0
+        assert predicted[n] / measured[n] > 0.5

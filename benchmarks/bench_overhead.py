@@ -1,0 +1,23 @@
+"""Paper §IV.A: instrumentation overhead of the tracing layer.
+
+The paper reports ~5% overhead at 24 threads for its MAGIC()
+instrumentation; this bench measures the real-thread analog (plain
+`threading` vs traced primitives on the same lock-heavy program) and
+asserts the overhead stays within the same order of magnitude.
+"""
+
+import pytest
+
+from repro.experiments import overhead
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_instrumentation_overhead(benchmark, show):
+    result = run_once(benchmark, overhead.run, nthreads=4, rounds=40)
+    show(result.render())
+    # Generous ceiling: Python timestamping on sub-ms critical sections
+    # must still stay far from doubling the runtime (paper: ~5%).
+    assert result.values["overhead"] < 0.5
+    assert result.values["traced"] > 0

@@ -1,0 +1,75 @@
+"""Tool scaling benchmarks: simulator and analyzer cost vs input size.
+
+Not a paper figure — tracks how the tool itself scales so regressions
+in the O(n)-ish paths (event loop, timeline construction, backward
+walk) are caught.  The paper's instrumentation overhead claim (~5% at
+24 threads) has its analog here: tracing cost per event is constant.
+"""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.tables import format_table
+from repro.workloads import SyntheticLocks
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="scale")
+def test_simulator_scaling_with_threads(benchmark, show):
+    """Events/second as thread count grows (fixed per-thread script)."""
+
+    def experiment():
+        rows = []
+        rates = {}
+        import time
+
+        for n in (4, 8, 16, 32):
+            wl = SyntheticLocks(ops_per_thread=120, nlocks=8)
+            t0 = time.perf_counter()
+            res = wl.run(nthreads=n, seed=1)
+            dt = time.perf_counter() - t0
+            rates[n] = len(res.trace) / dt
+            rows.append([n, len(res.trace), f"{dt * 1000:.0f}ms", f"{rates[n]:,.0f}"])
+        return rows, rates
+
+    rows, rates = run_once(benchmark, experiment)
+    show(format_table(
+        ["Threads", "Events", "Sim wall time", "Events/sec"],
+        rows,
+        title="[scale] simulator throughput vs thread count",
+    ))
+    # Per-event cost must stay roughly flat: no superlinear blowup.
+    assert rates[32] > rates[4] / 5
+
+
+@pytest.mark.benchmark(group="scale")
+def test_analysis_scaling_with_events(benchmark, show):
+    """Analysis wall time vs trace size (expect ~linear)."""
+
+    def experiment():
+        import time
+
+        rows = []
+        per_event = {}
+        for ops in (50, 200, 800):
+            trace = SyntheticLocks(ops_per_thread=ops, nlocks=8).run(
+                nthreads=8, seed=1
+            ).trace
+            t0 = time.perf_counter()
+            analyze(trace)
+            dt = time.perf_counter() - t0
+            per_event[ops] = dt / len(trace)
+            rows.append(
+                [len(trace), f"{dt * 1000:.0f}ms", f"{per_event[ops] * 1e6:.1f}us"]
+            )
+        return rows, per_event
+
+    rows, per_event = run_once(benchmark, experiment)
+    show(format_table(
+        ["Events", "Analysis time", "Per event"],
+        rows,
+        title="[scale] analysis cost vs trace size",
+    ))
+    # Near-linear: per-event cost within 4x across a 16x size range.
+    assert per_event[800] < per_event[50] * 4

@@ -1,0 +1,24 @@
+"""Extension: top-lock criticality growth across all queue/allocator apps.
+
+Fig. 9 generalized — for Radiosity, TSP, Raytrace and Volrend, the top
+lock's CP share must grow with thread count and exceed its wait share
+at 24 threads.
+"""
+
+import pytest
+
+from repro.experiments import scaling
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="scaling-apps")
+def test_scaling_all_apps(benchmark, show):
+    result = run_once(benchmark, scaling.run, thread_counts=(4, 24), seed=0)
+    show(result.render())
+    for app, series in result.values.items():
+        cp4 = series[4]["cp_fraction"]
+        cp24 = series[24]["cp_fraction"]
+        wait24 = series[24]["wait_fraction"]
+        assert cp24 > cp4, f"{app}: CP share must grow with threads"
+        assert cp24 > wait24, f"{app}: CP Time must lead Wait Time at 24T"

@@ -1,0 +1,26 @@
+"""Paper §V.E: TSP's Qlock on the critical path and the split optimization.
+
+Paper: Qlock ~68% of the critical path at 24 threads; splitting it into
+Q_headlock/Q_taillock improves end-to-end performance by ~19%.
+"""
+
+import pytest
+
+from repro.experiments import tsp_opt
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="tsp")
+def test_tsp_optimization(benchmark, show):
+    result = run_once(benchmark, tsp_opt.run, nthreads=24, seed=0)
+    show(result.render())
+    v = result.values
+
+    # Qlock dominates the critical path (paper: ~68%).
+    assert v["qlock_cp_fraction"] > 0.4
+    # Wait time would have underestimated it badly.
+    assert v["qlock_cp_fraction"] > 2 * v["qlock_wait_fraction"]
+    # The head/tail split buys a double-digit-percent improvement
+    # (paper: ~19%).
+    assert 0.08 < v["improvement"] < 0.40

@@ -1,0 +1,26 @@
+"""Benchmark fixtures.
+
+``show`` prints through pytest's capture so the regenerated paper tables
+appear in the benchmark run's output (the whole point of the harness).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capfd):
+    """Print text bypassing capture (visible in `pytest benchmarks/` output)."""
+
+    def _show(text: str) -> None:
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

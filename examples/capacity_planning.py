@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Capacity planning workflow: forecast, plan, verify, report.
+
+A complete investigation the way a performance engineer would run it,
+using only a *small* profiling run:
+
+1. profile TSP at 4 threads;
+2. forecast which lock saturates as threads grow (roofline model);
+3. build a greedy optimization plan from what-if predictions;
+4. verify the plan's first step by replaying the trace with the lock
+   shrunk (ground truth, no re-implementation needed);
+5. emit a self-contained HTML report plus an SVG timeline.
+
+Run:  python examples/capacity_planning.py  [--out-dir /tmp]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro import analyze
+from repro.core.forecast import forecast
+from repro.core.planner import plan_optimizations
+from repro.replay import reconstruct
+from repro.report_html import write_html_report
+from repro.viz.svg import write_svg
+from repro.workloads import TSP
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default=".", help="where to write artifacts")
+    args = parser.parse_args()
+    out_dir = Path(args.out_dir)
+
+    # 1. Profile small.
+    profile_run = TSP().run(nthreads=4, seed=0)
+    analysis = analyze(profile_run.trace)
+    print(analysis.report.render_summary())
+    print()
+
+    # 2. Forecast scaling from the 4-thread profile.
+    fc = forecast(analysis)
+    print(fc.render(thread_counts=(8, 16, 24, 48)))
+    first = fc.first_saturating_lock()
+    print(
+        f"\n=> {first.name} saturates at ~"
+        f"{first.saturation_threads(fc.total_work):.1f} threads; plan around it.\n"
+    )
+
+    # 3. Greedy optimization plan (what-if, no re-runs).
+    plan = plan_optimizations(analysis, steps=2, factor=0.5)
+    print(plan.render())
+    print()
+
+    # 4. Ground-truth check of step 1 via trace replay.
+    step1 = plan.steps[0]
+    replayed = reconstruct(profile_run.trace).run(
+        shrink_lock=step1.lock_name, factor=step1.factor
+    )
+    actual = profile_run.completion_time / replayed.completion_time
+    print(
+        f"replay verification of step 1 ({step1.lock_name} x{step1.factor}): "
+        f"predicted speedup {step1.cumulative_speedup:.3f}, "
+        f"replayed {actual:.3f}"
+    )
+
+    # 5. Artifacts.
+    html = write_html_report(profile_run.trace, out_dir / "tsp_report.html", analysis)
+    svg = write_svg(profile_run.trace, out_dir / "tsp_timeline.svg", analysis)
+    print(f"\nartifacts: {html}, {svg}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Critical lock analysis on an OpenMP-style program.
+
+The paper notes its method applies to any lock-based threading model,
+OpenMP included (footnote 1).  This example renders a Mandelbrot-like
+image with ``omp parallel for``: static scheduling suffers from load
+imbalance, dynamic scheduling fixes it — but its chunk-dispatch lock
+shows up in the analysis exactly where you'd expect, and shrinking the
+chunk size trades imbalance for schedule-lock pressure.
+
+Run:  python examples/openmp_style.py
+"""
+
+from repro import Program, analyze
+from repro.sim.omp import OpenMP
+from repro.tables import format_table
+
+
+def render_rows(schedule: str, chunk: int, nthreads: int = 8, rows: int = 96):
+    """One frame: per-row cost is wildly uneven (escape-time iteration)."""
+    prog = Program(name=f"mandel-{schedule}-c{chunk}", seed=1)
+    omp = OpenMP(prog, nthreads=nthreads)
+    hist = []
+
+    def row_body(env, row, ctx):
+        # Rows near the "set" take far longer (synthetic cost profile).
+        cost = 0.02 + 0.4 * max(0.0, 1.0 - abs(row - rows / 2) / (rows / 8))
+        yield env.compute(cost)
+        yield from ctx.critical(env, "histogram", lambda: hist.append(row), cost=0.002)
+
+    omp.parallel_for(range(rows), row_body, schedule=schedule, chunk=chunk)
+    result = prog.run()
+    assert len(hist) == rows
+    return result
+
+
+def main() -> None:
+    configs = [("static", 4), ("dynamic", 8), ("dynamic", 1)]
+    table = []
+    for schedule, chunk in configs:
+        result = render_rows(schedule, chunk)
+        analysis = analyze(result.trace)
+        sched_locks = [
+            m for m in analysis.report.locks.values() if "schedule_lock" in m.name
+        ]
+        sched_cp = max((m.cp_fraction for m in sched_locks), default=0.0)
+        crit = analysis.report.lock("omp_critical:histogram")
+        table.append(
+            [
+                f"{schedule} chunk={chunk}",
+                f"{result.completion_time:.3f}",
+                f"{sched_cp:.2%}",
+                f"{crit.cp_fraction:.2%}",
+            ]
+        )
+    print(format_table(
+        ["Schedule", "Completion", "schedule_lock CP %", "critical CP %"],
+        table,
+        title="OpenMP scheduling under critical lock analysis",
+    ))
+    print()
+    print("dynamic beats static on imbalanced rows; chunk=1 pays for it in")
+    print("schedule-lock critical-path share — visible only with CP metrics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Beyond the paper: lock criticality over time, lock-order safety, and
+the Eyerman-Eeckhout speedup ceiling.
+
+Builds a two-phase pipeline whose critical lock *changes mid-run* —
+a whole-run ranking (the paper's Fig. 8 style) averages the phases away,
+while windowed critical lock analysis pinpoints when each lock matters
+(the paper's §VII future-work direction: feeding runtime mechanisms).
+
+Run:  python examples/phase_analysis.py
+"""
+
+from repro import Program, analyze
+from repro.core.eyerman import fit_model
+from repro.core.lockorder import build_lock_order
+from repro.core.windows import windowed_criticality
+
+
+def build_two_phase_pipeline(nthreads: int = 8) -> Program:
+    prog = Program(name="two-phase-pipeline", seed=0)
+    ingest_lock = prog.mutex("ingest_lock")  # hot in phase 1
+    publish_lock = prog.mutex("publish_lock")  # hot in phase 2
+    meta_lock = prog.mutex("meta_lock")  # occasionally nested inside both
+    phase_barrier = prog.barrier(nthreads, "phase_barrier")
+
+    def worker(env, i):
+        # Phase 1: ingest — serialized appends to a shared staging buffer.
+        for _ in range(6):
+            yield env.compute(0.05)
+            yield env.acquire(ingest_lock)
+            yield env.compute(0.04)
+            if env.rng.random() < 0.3:  # nested metadata update
+                yield env.acquire(meta_lock)
+                yield env.compute(0.01)
+                yield env.release(meta_lock)
+            yield env.release(ingest_lock)
+        yield env.barrier_wait(phase_barrier)
+        # Phase 2: publish — a different lock becomes the bottleneck.
+        for _ in range(6):
+            yield env.compute(0.03)
+            yield env.acquire(publish_lock)
+            yield env.compute(0.06)
+            yield env.release(publish_lock)
+
+    prog.spawn_workers(nthreads, worker)
+    return prog
+
+
+def main() -> None:
+    result = build_two_phase_pipeline().run()
+    analysis = analyze(result.trace)
+
+    print("=== whole-run ranking (hides the phase structure) ===")
+    print(analysis.report.render_type1(3))
+    print()
+
+    print("=== windowed criticality (the phase switch is obvious) ===")
+    wc = windowed_criticality(analysis, nwindows=8)
+    print(wc.render())
+    changes = wc.phase_changes()
+    print(f"dominant-lock changes at window(s): {changes}")
+    print()
+
+    print("=== lock-order safety check ===")
+    print(build_lock_order(result.trace).render())
+    print()
+
+    print("=== Eyerman-Eeckhout ceiling (paper ref [10]) ===")
+    model = fit_model(analysis)
+    print(model)
+    for n in (8, 16, 32):
+        print(f"  model speedup @{n} threads: {model.speedup(n):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The paper's Radiosity case study end to end (§V.D).
+
+1. Profile Radiosity at increasing thread counts; watch ``tq[0].qlock``
+   come to dominate the critical path while wait-time metrics stay low.
+2. Quantify the bottleneck with the paper's two metrics (contention
+   probability and hot-critical-section size along the path).
+3. Apply the fix the paper validates — replace each task queue with a
+   Michael-Scott two-lock queue — and measure the end-to-end gain.
+
+Run:  python examples/radiosity_optimization.py  [--threads 24]
+"""
+
+import argparse
+
+from repro import analyze
+from repro.tables import format_table
+from repro.units import format_percent
+from repro.workloads import Radiosity
+
+
+def profile_across_threads(max_threads: int) -> None:
+    print("=== 1. identification: tq[0].qlock vs thread count ===")
+    rows = []
+    counts = [n for n in (4, 8, 16, 24) if n <= max_threads]
+    for n in counts:
+        analysis = analyze(Radiosity().run(nthreads=n, seed=0).trace)
+        m = analysis.report.lock("tq[0].qlock")
+        rows.append(
+            [n, format_percent(m.cp_fraction), format_percent(m.avg_wait_fraction)]
+        )
+    print(format_table(["Threads", "CP Time % (TYPE 1)", "Wait Time % (TYPE 2)"], rows))
+    print("note: an idleness-based profiler would keep reporting this lock as minor.\n")
+
+
+def quantify(nthreads: int):
+    print(f"=== 2. quantification at {nthreads} threads ===")
+    result = Radiosity().run(nthreads=nthreads, seed=0)
+    analysis = analyze(result.trace)
+    print(analysis.report.render_type1(3))
+    print()
+    m = analysis.report.lock("tq[0].qlock")
+    print(
+        f"tq[0].qlock: {m.invocations_on_cp} invocations on the critical path "
+        f"({m.invocation_increase:.1f}x the per-thread average), "
+        f"{format_percent(m.cont_prob_on_cp)} of them contended."
+    )
+    predicted = analysis.what_if("tq[0].qlock", factor=0.0)
+    print(f"what-if upper bound: {predicted}")
+    print()
+    return result.completion_time
+
+
+def optimize(nthreads: int, baseline_time: float) -> None:
+    print(f"=== 3. validation: two-lock queues at {nthreads} threads ===")
+    optimized = Radiosity(two_lock_queues=True).run(nthreads=nthreads, seed=0)
+    analysis = analyze(optimized.trace)
+    gain = baseline_time / optimized.completion_time - 1.0
+    print(
+        f"original {baseline_time:.2f} -> optimized {optimized.completion_time:.2f} "
+        f"({gain:+.1%} end to end; the paper measured ~7%)"
+    )
+    top = analysis.report.top_locks(1)[0]
+    print(
+        f"new top lock: {top.name} at {format_percent(top.cp_fraction)} of the "
+        "critical path — the path shifted, exactly as the paper observes."
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threads", type=int, default=24)
+    args = parser.parse_args()
+
+    profile_across_threads(args.threads)
+    baseline = quantify(args.threads)
+    optimize(args.threads, baseline)
+
+
+if __name__ == "__main__":
+    main()

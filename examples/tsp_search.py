@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""TSP branch-and-bound: diagnose and fix a global-queue bottleneck (§V.E).
+
+The workload is a real 10-city branch-and-bound search whose partial
+paths flow through one shared FIFO queue.  Critical lock analysis shows
+``Qlock`` owning most of the critical path; the paper's fix — a
+Michael-Scott two-lock queue — parallelizes enqueue and dequeue.
+
+Run:  python examples/tsp_search.py  [--threads 24] [--cities 10]
+"""
+
+import argparse
+
+from repro import analyze
+from repro.tables import format_table
+from repro.units import format_percent
+from repro.workloads import TSP
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threads", type=int, default=24)
+    parser.add_argument("--cities", type=int, default=10)
+    args = parser.parse_args()
+
+    original = TSP(ncities=args.cities)
+    res = original.run(nthreads=args.threads, seed=0)
+    analysis = analyze(res.trace)
+
+    print(f"TSP: {args.cities} cities, {args.threads} threads")
+    dist = original.make_instance()
+    print(f"greedy tour bound: {original.greedy_tour(dist):.1f}")
+    print()
+    print(analysis.report.render_type1(3))
+    print()
+    print(analysis.report.render_type2(3))
+
+    qlock = analysis.report.lock("Q.qlock")
+    print()
+    print(
+        f"Q.qlock owns {format_percent(qlock.cp_fraction)} of the critical path "
+        f"but only {format_percent(qlock.avg_wait_fraction)} average wait time — "
+        "an idleness profiler would underrate it."
+    )
+
+    # Apply the paper's optimization and compare.
+    optimized = TSP(ncities=args.cities, split_queue=True)
+    opt_res = optimized.run(nthreads=args.threads, seed=0)
+    opt_analysis = analyze(opt_res.trace)
+
+    rows = [
+        ["original (Qlock)", f"{res.completion_time:.2f}", "-"],
+        [
+            "two-lock queue",
+            f"{opt_res.completion_time:.2f}",
+            f"{res.completion_time / opt_res.completion_time - 1:+.1%}",
+        ],
+    ]
+    print()
+    print(format_table(["Version", "Completion time", "Improvement"], rows,
+                       title="head/tail split validation (paper: ~19% at 24 threads)"))
+    print()
+    print("top locks after the split:")
+    for m in opt_analysis.report.top_locks(2):
+        print(f"  {m.name}: {format_percent(m.cp_fraction)} of the critical path")
+
+
+if __name__ == "__main__":
+    main()

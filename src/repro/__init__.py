@@ -1,0 +1,37 @@
+"""Critical lock analysis — SC 2012 reproduction.
+
+A library for diagnosing critical section bottlenecks in multithreaded
+applications by identifying the locks on the execution's *critical path*
+(critical locks) and quantifying them with contention probability and hot
+critical section size, per Chen & Stenström, "Critical Lock Analysis"
+(SC 2012).
+
+Top-level convenience imports::
+
+    from repro import Program, analyze
+
+    prog = Program(name="demo")
+    ...
+    result = prog.run()
+    report = analyze(result.trace)
+    print(report.report.render())
+"""
+
+from repro.core.analyzer import AnalysisResult, analyze
+from repro.replay import reconstruct
+from repro.sim import Program
+from repro.trace import Trace, TraceBuilder, read_trace, write_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Program",
+    "Trace",
+    "TraceBuilder",
+    "analyze",
+    "AnalysisResult",
+    "reconstruct",
+    "read_trace",
+    "write_trace",
+    "__version__",
+]

@@ -1,0 +1,318 @@
+"""Command line interface.
+
+::
+
+    critical-lock-analysis run radiosity --threads 24 -o rad.clt --report
+    critical-lock-analysis analyze rad.clt --top 5 --timeline
+    critical-lock-analysis whatif rad.clt "tq[0].qlock" --factor 0.5
+    critical-lock-analysis experiment fig9
+    critical-lock-analysis list
+
+(also invocable as ``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.analyzer import analyze
+from repro.core.whatif import predict_shrink
+from repro.errors import ReproError
+from repro.experiments.harness import list_experiments, run_experiment
+from repro.trace.reader import read_trace
+from repro.trace.writer import write_trace
+from repro.viz.timeline import render_timeline
+from repro.workloads import available_workloads, get_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="critical-lock-analysis",
+        description="Critical lock analysis (SC 2012) — simulate, trace, analyze.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a workload on the simulator")
+    run_p.add_argument("workload", help=f"one of: {', '.join(available_workloads())}")
+    run_p.add_argument("--threads", "-t", type=int, default=4)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--cores", type=int, default=None, help="simulated core limit")
+    run_p.add_argument(
+        "--param", "-p", action="append", default=[], metavar="K=V",
+        help="workload constructor parameter (repeatable)",
+    )
+    run_p.add_argument("--output", "-o", help="write the trace to this path (.clt/.jsonl)")
+    run_p.add_argument("--report", action="store_true", help="print the analysis report")
+
+    an_p = sub.add_parser("analyze", help="analyze a trace file")
+    an_p.add_argument("trace")
+    an_p.add_argument("--top", type=int, default=10, help="locks per table")
+    an_p.add_argument("--json", action="store_true", help="machine-readable output")
+    an_p.add_argument("--timeline", action="store_true", help="also print the ASCII timeline")
+    an_p.add_argument("--chart", action="store_true", help="CP-vs-wait lock profile bars")
+    an_p.add_argument("--windows", type=int, metavar="N",
+                      help="lock criticality over N time windows")
+    an_p.add_argument("--lock-order", action="store_true",
+                      help="nesting graph + potential-deadlock check")
+    an_p.add_argument("--model", action="store_true",
+                      help="fit the Eyerman-Eeckhout speedup-ceiling model")
+    an_p.add_argument("--blame", action="store_true",
+                      help="idleness-blame ranking (prior-art baseline)")
+    an_p.add_argument("--phases", action="store_true",
+                      help="per-barrier-phase critical lock statistics")
+    an_p.add_argument("--no-validate", action="store_true", help="skip trace validation")
+
+    cmp_p = sub.add_parser("compare", help="diff two analyses (before vs after)")
+    cmp_p.add_argument("before")
+    cmp_p.add_argument("after")
+
+    st_p = sub.add_parser("stats", help="descriptive statistics of a trace")
+    st_p.add_argument("trace")
+
+    ex2_p = sub.add_parser(
+        "export",
+        help="export a trace to Chrome/Perfetto JSON, an SVG timeline, "
+        "or a full HTML report",
+    )
+    ex2_p.add_argument("trace")
+    ex2_p.add_argument(
+        "output", help="output path (.json = Chrome, .svg = SVG, .html = report)"
+    )
+
+    plan_p = sub.add_parser(
+        "plan", help="greedy lock-optimization plan (what-if based)"
+    )
+    plan_p.add_argument("trace")
+    plan_p.add_argument("--steps", type=int, default=3)
+    plan_p.add_argument("--factor", type=float, default=0.5,
+                        help="per-step shrink factor")
+
+    rp_p = sub.add_parser(
+        "replay", help="re-run a trace on the simulator, optionally modified"
+    )
+    rp_p.add_argument("trace")
+    rp_p.add_argument("--shrink", metavar="LOCK",
+                      help="scale this lock's critical sections")
+    rp_p.add_argument("--factor", type=float, default=0.5,
+                      help="remaining CS size fraction under --shrink")
+    rp_p.add_argument("--cores", type=int, default=None,
+                      help="replay under a different core count")
+    rp_p.add_argument("--output", "-o", help="write the replayed trace here")
+
+    wi_p = sub.add_parser("whatif", help="predict speedup from shrinking a lock's CSs")
+    wi_p.add_argument("trace")
+    wi_p.add_argument("lock", help="lock display name")
+    wi_p.add_argument("--factor", type=float, default=0.0,
+                      help="remaining CS size fraction (0 = eliminate)")
+
+    ex_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    ex_p.add_argument(
+        "exp_id", help=f"one of: {', '.join(list_experiments())}, or 'all'"
+    )
+    ex_p.add_argument("--output", "-o", help="also append the tables to this file")
+
+    sub.add_parser("list", help="list workloads and experiments")
+    return p
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--param expects K=V, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            out[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[key] = raw
+    return out
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cls = get_workload(args.workload)
+    wl = cls(**_parse_params(args.param))
+    result = wl.run(nthreads=args.threads, seed=args.seed, cores=args.cores)
+    print(
+        f"{wl.name}: {args.threads} threads, completion time "
+        f"{result.completion_time:.4f}, {len(result.trace)} events"
+    )
+    if args.output:
+        path = write_trace(result.trace, args.output)
+        print(f"trace written to {path}")
+    if args.report or not args.output:
+        print()
+        print(analyze(result.trace).render())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.eyerman import fit_model
+    from repro.core.lockorder import build_lock_order
+    from repro.core.windows import windowed_criticality
+    from repro.viz.profile import render_lock_profile
+
+    trace = read_trace(args.trace)
+    analysis = analyze(trace, validate=not args.no_validate)
+    if args.json:
+        print(json.dumps(analysis.report.to_dict(), indent=2))
+    else:
+        print(analysis.render(args.top))
+    if args.timeline:
+        print()
+        print(render_timeline(trace, analysis))
+    if args.chart:
+        print()
+        print(render_lock_profile(analysis.report, n=args.top))
+    if args.windows:
+        print()
+        print(windowed_criticality(analysis, args.windows).render())
+    if args.lock_order:
+        print()
+        print(build_lock_order(trace).render())
+    if args.model:
+        print()
+        model = fit_model(analysis)
+        print(model)
+        for n in (2, 4, 8, 16, 32, 64):
+            print(f"  model speedup @{n:>2} threads: {model.speedup(n):.2f}x")
+    if args.blame:
+        from repro.core.blame import compute_blame
+
+        print()
+        print(compute_blame(analysis).render(thread_names=trace.threads))
+    if args.phases:
+        from repro.core.phases import split_phases
+
+        print()
+        print(split_phases(analysis).render())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.trace.stats import compute_trace_stats
+
+    print(compute_trace_stats(read_trace(args.trace)).render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    out = str(args.output)
+    if out.endswith(".svg"):
+        from repro.viz.svg import write_svg
+
+        path = write_svg(read_trace(args.trace), args.output)
+        print(f"SVG timeline written to {path}")
+        return 0
+    if out.endswith((".html", ".htm")):
+        from repro.report_html import write_html_report
+
+        path = write_html_report(read_trace(args.trace), args.output)
+        print(f"HTML report written to {path}")
+        return 0
+    from repro.export import write_chrome_trace
+
+    path = write_chrome_trace(read_trace(args.trace), args.output)
+    print(f"Chrome trace written to {path}; open it at https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import plan_optimizations
+
+    analysis = analyze(read_trace(args.trace), validate=False)
+    print(plan_optimizations(analysis, steps=args.steps, factor=args.factor).render())
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.replay import reconstruct
+
+    trace = read_trace(args.trace)
+    replay = reconstruct(trace)
+    result = replay.run(
+        shrink_lock=args.shrink, factor=args.factor if args.shrink else 1.0,
+        cores=args.cores,
+    )
+    print(
+        f"original completion {trace.duration:.6g} -> replay "
+        f"{result.completion_time:.6g}"
+        + (f" (with {args.shrink} x{args.factor})" if args.shrink else "")
+    )
+    if trace.duration > 0:
+        print(f"speedup vs original: {trace.duration / result.completion_time:.3f}")
+    if args.output:
+        path = write_trace(result.trace, args.output)
+        print(f"replayed trace written to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare_analyses
+
+    before = analyze(read_trace(args.before), validate=False)
+    after = analyze(read_trace(args.after), validate=False)
+    print(compare_analyses(before, after).render())
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    print(predict_shrink(trace, args.lock, factor=args.factor))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = list_experiments() if args.exp_id == "all" else [args.exp_id]
+    sink = open(args.output, "a", encoding="utf-8") if args.output else None
+    try:
+        for exp_id in ids:
+            text = run_experiment(exp_id).render()
+            print(text)
+            print()
+            if sink:
+                sink.write(text + "\n\n")
+    finally:
+        if sink:
+            sink.close()
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in available_workloads():
+        print(f"  {name}")
+    print("experiments:")
+    for exp_id in list_experiments():
+        print(f"  {exp_id}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "analyze": _cmd_analyze,
+        "compare": _cmd_compare,
+        "stats": _cmd_stats,
+        "export": _cmd_export,
+        "plan": _cmd_plan,
+        "replay": _cmd_replay,
+        "whatif": _cmd_whatif,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # output piped into head/less and closed
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

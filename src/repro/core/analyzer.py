@@ -1,0 +1,84 @@
+"""The analysis façade: one call from trace to report.
+
+Mirrors the paper's post-processing analysis module (Fig. 3): validate
+the trace, build timelines, resolve wakers, run the backward critical-
+path walk, compute TYPE 1 / TYPE 2 metrics and wrap everything in an
+:class:`AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.critical_path import CriticalPath, compute_critical_path
+from repro.core.dag import EventGraph, build_event_graph
+from repro.core.metrics import compute_metrics, compute_thread_stats
+from repro.core.model import ThreadTimeline
+from repro.core.report import AnalysisReport
+from repro.core.segments import build_timelines
+from repro.core.wakers import WakerTable, resolve_wakers
+from repro.core.whatif import WhatIfResult, predict_no_contention, predict_shrink
+from repro.trace.trace import Trace
+from repro.trace.validate import validate_trace
+
+__all__ = ["AnalysisResult", "analyze"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything produced by one analysis pass over a trace."""
+
+    trace: Trace
+    wakers: WakerTable
+    timelines: dict[int, ThreadTimeline]
+    critical_path: CriticalPath
+    report: AnalysisReport
+
+    @cached_property
+    def graph(self) -> EventGraph:
+        """Event DAG (built lazily; used by cross-checks and what-if)."""
+        return build_event_graph(self.trace, self.timelines, self.wakers)
+
+    def what_if(self, lock: int | str, factor: float = 0.0) -> WhatIfResult:
+        """Predict the speedup from shrinking ``lock``'s critical sections."""
+        return predict_shrink(self.trace, lock, factor, graph=self.graph)
+
+    def what_if_no_contention(self, lock: int | str) -> WhatIfResult:
+        """Predict the speedup if ``lock``'s acquisitions never blocked.
+
+        The paper's §VII scenario (ACS / speculation / transactional
+        memory): waiters stop serializing behind holders while the
+        critical sections' own work is kept.
+        """
+        return predict_no_contention(self.trace, lock, graph=self.graph)
+
+    def render(self, n: int | None = 10) -> str:
+        """Convenience passthrough to :meth:`AnalysisReport.render`."""
+        return self.report.render(n)
+
+
+def analyze(trace: Trace, validate: bool = True) -> AnalysisResult:
+    """Run the full critical lock analysis pipeline on a trace."""
+    if validate:
+        validate_trace(trace)
+    wakers = resolve_wakers(trace)
+    timelines = build_timelines(trace, wakers)
+    cp = compute_critical_path(trace, timelines, wakers)
+    locks = compute_metrics(trace, timelines, cp)
+    threads = compute_thread_stats(timelines, cp)
+    report = AnalysisReport(
+        name=str(trace.meta.get("name", "")),
+        nthreads=len(timelines),
+        duration=trace.duration,
+        cp=cp,
+        locks=locks,
+        thread_stats=threads,
+    )
+    return AnalysisResult(
+        trace=trace,
+        wakers=wakers,
+        timelines=timelines,
+        critical_path=cp,
+        report=report,
+    )

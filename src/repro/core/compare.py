@@ -1,0 +1,112 @@
+"""Before/after comparison of two analyses.
+
+The paper's validation loop (§V.D.3) is: analyze, optimize the top
+critical lock, re-analyze, and explain where the speedup came from
+(Figs. 13-14 vs 10-11).  This module automates the diff: per-lock deltas
+of the TYPE 1 metrics, matched by lock name, plus the end-to-end change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import AnalysisResult
+from repro.tables import format_table
+from repro.units import format_percent
+
+__all__ = ["LockDelta", "ComparisonReport", "compare_analyses"]
+
+
+@dataclass(frozen=True)
+class LockDelta:
+    """Change in one lock's critical-path metrics between two runs."""
+
+    name: str
+    cp_fraction_before: float
+    cp_fraction_after: float
+    cont_prob_before: float
+    cont_prob_after: float
+    present_before: bool
+    present_after: bool
+
+    @property
+    def cp_fraction_delta(self) -> float:
+        return self.cp_fraction_after - self.cp_fraction_before
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Diff of two analyses (typically original vs optimized)."""
+
+    duration_before: float
+    duration_after: float
+    deltas: list[LockDelta]
+
+    @property
+    def speedup(self) -> float:
+        if self.duration_after <= 0:
+            return float("inf")
+        return self.duration_before / self.duration_after
+
+    @property
+    def improvement(self) -> float:
+        """Fractional end-to-end gain (positive = after is faster)."""
+        return self.speedup - 1.0
+
+    def top_movers(self, n: int = 5) -> list[LockDelta]:
+        """Locks with the largest absolute CP-share change."""
+        return sorted(
+            self.deltas, key=lambda d: abs(d.cp_fraction_delta), reverse=True
+        )[:n]
+
+    def render(self, n: int = 8) -> str:
+        rows = []
+        for d in self.top_movers(n):
+            rows.append(
+                [
+                    d.name,
+                    format_percent(d.cp_fraction_before) if d.present_before else "-",
+                    format_percent(d.cp_fraction_after) if d.present_after else "-",
+                    f"{d.cp_fraction_delta:+.2%}",
+                    format_percent(d.cont_prob_before) if d.present_before else "-",
+                    format_percent(d.cont_prob_after) if d.present_after else "-",
+                ]
+            )
+        header = (
+            f"before {self.duration_before:.4g} -> after {self.duration_after:.4g} "
+            f"({self.improvement:+.1%} end to end)"
+        )
+        table = format_table(
+            ["Lock", "CP % before", "CP % after", "delta",
+             "Cont. on CP before", "after"],
+            rows,
+            title="Critical lock comparison",
+        )
+        return header + "\n" + table
+
+
+def compare_analyses(
+    before: AnalysisResult, after: AnalysisResult
+) -> ComparisonReport:
+    """Diff two analyses by lock display name."""
+    b_locks = {m.name: m for m in before.report.locks.values()}
+    a_locks = {m.name: m for m in after.report.locks.values()}
+    deltas = []
+    for name in sorted(set(b_locks) | set(a_locks)):
+        b, a = b_locks.get(name), a_locks.get(name)
+        deltas.append(
+            LockDelta(
+                name=name,
+                cp_fraction_before=b.cp_fraction if b else 0.0,
+                cp_fraction_after=a.cp_fraction if a else 0.0,
+                cont_prob_before=b.cont_prob_on_cp if b else 0.0,
+                cont_prob_after=a.cont_prob_on_cp if a else 0.0,
+                present_before=b is not None,
+                present_after=a is not None,
+            )
+        )
+    return ComparisonReport(
+        duration_before=before.report.duration,
+        duration_after=after.report.duration,
+        deltas=deltas,
+    )

@@ -1,0 +1,224 @@
+"""Quantitative performance metrics (paper Table 2 and §III.B).
+
+TYPE 1 — along the critical path (this paper's contribution):
+
+* ``cp_fraction`` ("CP Time %"): fraction of the critical path occupied
+  by hot critical sections protected by the lock;
+* ``invocations_on_cp`` ("Invocation # on CP");
+* ``cont_prob_on_cp`` ("Cont. Prob. on CP %"): of the invocations on the
+  critical path, the fraction whose acquisition blocked;
+* ``invocation_increase`` ("Incr. Times of Invo. #"): invocations on the
+  critical path vs the per-thread average — the amplification a
+  contended lock suffers on the path (paper Fig. 10);
+* ``size_increase`` ("Incr. Times of Critical Section Size"): CP Time %
+  vs the average per-thread hold fraction (paper Fig. 11).
+
+TYPE 2 — classical per-lock statistics used by prior tools:
+
+* ``avg_wait_fraction`` ("Wait Time %"): average over threads of the
+  fraction of the thread's lifetime spent waiting for the lock;
+* ``avg_invocations`` ("Avg. Invo. #") per thread;
+* ``avg_cont_prob`` ("Avg. Cont. Prob %") over all invocations;
+* ``avg_hold_fraction`` ("Avg. Hold Time %").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.critical_path import CriticalPath
+from repro.core.model import CPPiece, HoldInterval, ThreadTimeline, WaitKind
+from repro.trace.events import ObjectKind
+from repro.trace.trace import Trace
+
+__all__ = ["LockMetrics", "ThreadStats", "compute_metrics", "compute_thread_stats"]
+
+
+@dataclass(frozen=True)
+class LockMetrics:
+    """TYPE 1 + TYPE 2 statistics for one lock (see module docstring)."""
+
+    obj: int
+    name: str
+    kind: ObjectKind
+    # TYPE 1 — critical path statistics
+    cp_hold_time: float
+    cp_fraction: float
+    invocations_on_cp: int
+    contended_on_cp: int
+    invocation_increase: float
+    size_increase: float
+    cp_crossings: int  # times the critical path jumped threads via this lock
+    # TYPE 2 — classical statistics
+    total_invocations: int
+    contended_invocations: int
+    avg_invocations: float
+    total_wait_time: float
+    avg_wait_fraction: float
+    total_hold_time: float
+    avg_hold_fraction: float
+
+    @property
+    def cont_prob_on_cp(self) -> float:
+        """Contention probability of this lock along the critical path."""
+        if self.invocations_on_cp == 0:
+            return 0.0
+        return self.contended_on_cp / self.invocations_on_cp
+
+    @property
+    def avg_cont_prob(self) -> float:
+        """Overall contention probability across all invocations."""
+        if self.total_invocations == 0:
+            return 0.0
+        return self.contended_invocations / self.total_invocations
+
+    @property
+    def is_critical(self) -> bool:
+        """Whether this is a critical lock (appears on the critical path)."""
+        return self.invocations_on_cp > 0
+
+
+@dataclass(frozen=True)
+class ThreadStats:
+    """Per-thread execution/blocking breakdown (extra diagnostics)."""
+
+    tid: int
+    name: str
+    lifetime: float
+    exec_time: float
+    lock_wait: float
+    barrier_wait: float
+    cond_wait: float
+    join_wait: float
+    cp_time: float  # time this thread spent on the critical path
+
+    @property
+    def total_wait(self) -> float:
+        return self.lock_wait + self.barrier_wait + self.cond_wait + self.join_wait
+
+
+def _hold_cp_overlap(
+    holds: list[HoldInterval], pieces: list[CPPiece]
+) -> tuple[float, int, int]:
+    """(overlap time, invocations on CP, contended invocations on CP).
+
+    ``holds`` and ``pieces`` both belong to one thread and are sorted and
+    pairwise disjoint, so a two-pointer sweep suffices.  A hold counts as
+    "on the critical path" if it overlaps a piece for positive time, or —
+    for zero-length holds — if it lies inside a piece.
+    """
+    total = 0.0
+    on_cp = 0
+    contended = 0
+    pi = 0
+    for h in holds:
+        h_overlap = 0.0
+        inside = False
+        while pi < len(pieces) and pieces[pi].end < h.start:
+            pi += 1
+        pj = pi
+        while pj < len(pieces) and pieces[pj].start <= h.end:
+            p = pieces[pj]
+            h_overlap += max(0.0, min(h.end, p.end) - max(h.start, p.start))
+            if h.duration == 0 and p.start <= h.start <= p.end:
+                inside = True
+            pj += 1
+        total += h_overlap
+        if h_overlap > 0 or (h.duration == 0 and inside):
+            on_cp += 1
+            if h.contended:
+                contended += 1
+    return total, on_cp, contended
+
+
+def compute_metrics(
+    trace: Trace,
+    timelines: dict[int, ThreadTimeline],
+    cp: CriticalPath,
+) -> dict[int, LockMetrics]:
+    """Compute :class:`LockMetrics` for every lock-like object in the trace."""
+    nthreads = max(1, len(timelines))
+    cp_length = cp.length
+    pieces_by_thread = cp.pieces_by_thread()
+    for plist in pieces_by_thread.values():
+        plist.sort(key=lambda p: (p.start, p.end))
+
+    out: dict[int, LockMetrics] = {}
+    for info in trace.locks:
+        obj = info.obj
+        cp_hold = 0.0
+        inv_on_cp = 0
+        cont_on_cp = 0
+        total_inv = 0
+        cont_inv = 0
+        total_wait = 0.0
+        total_hold = 0.0
+        wait_fracs = 0.0
+        hold_fracs = 0.0
+        for tid, tl in timelines.items():
+            holds = tl.holds.get(obj, [])
+            t_hold = sum(h.duration for h in holds)
+            t_wait = sum(h.wait for h in holds)
+            total_inv += len(holds)
+            cont_inv += sum(1 for h in holds if h.contended)
+            total_hold += t_hold
+            total_wait += t_wait
+            if tl.lifetime > 0:
+                wait_fracs += t_wait / tl.lifetime
+                hold_fracs += t_hold / tl.lifetime
+            pieces = pieces_by_thread.get(tid)
+            if pieces and holds:
+                o, n, c = _hold_cp_overlap(holds, pieces)
+                cp_hold += o
+                inv_on_cp += n
+                cont_on_cp += c
+        avg_inv = total_inv / nthreads
+        avg_hold_frac = hold_fracs / nthreads
+        cp_frac = cp_hold / cp_length if cp_length > 0 else 0.0
+        out[obj] = LockMetrics(
+            obj=obj,
+            name=info.display_name,
+            kind=info.kind,
+            cp_hold_time=cp_hold,
+            cp_fraction=cp_frac,
+            invocations_on_cp=inv_on_cp,
+            contended_on_cp=cont_on_cp,
+            invocation_increase=(inv_on_cp / avg_inv) if avg_inv > 0 else 0.0,
+            size_increase=(cp_frac / avg_hold_frac) if avg_hold_frac > 0 else 0.0,
+            cp_crossings=cp.junction_count(obj, WaitKind.LOCK),
+            total_invocations=total_inv,
+            contended_invocations=cont_inv,
+            avg_invocations=avg_inv,
+            total_wait_time=total_wait,
+            avg_wait_fraction=wait_fracs / nthreads,
+            total_hold_time=total_hold,
+            avg_hold_fraction=avg_hold_frac,
+        )
+    return out
+
+
+def compute_thread_stats(
+    timelines: dict[int, ThreadTimeline], cp: CriticalPath
+) -> list[ThreadStats]:
+    """Per-thread breakdown: execution vs each kind of blocking, CP share."""
+    cp_by_tid: dict[int, float] = {}
+    for p in cp.pieces:
+        cp_by_tid[p.tid] = cp_by_tid.get(p.tid, 0.0) + p.duration
+    stats = []
+    for tid, tl in sorted(timelines.items()):
+        by_kind = tl.wait_time_by_kind()
+        total_wait = sum(by_kind.values())
+        stats.append(
+            ThreadStats(
+                tid=tid,
+                name=tl.name,
+                lifetime=tl.lifetime,
+                exec_time=tl.lifetime - total_wait,
+                lock_wait=by_kind.get(WaitKind.LOCK, 0.0),
+                barrier_wait=by_kind.get(WaitKind.BARRIER, 0.0),
+                cond_wait=by_kind.get(WaitKind.CONDITION, 0.0),
+                join_wait=by_kind.get(WaitKind.JOIN, 0.0),
+                cp_time=cp_by_tid.get(tid, 0.0),
+            )
+        )
+    return stats

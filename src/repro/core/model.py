@@ -1,0 +1,134 @@
+"""Analysis data model: waits, hold intervals, timelines, path pieces."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["WaitKind", "Wait", "HoldInterval", "ThreadTimeline", "CPPiece", "Junction"]
+
+
+class WaitKind(enum.Enum):
+    """What kind of synchronization a blocked interval waited on."""
+
+    LOCK = "lock"  # mutex / semaphore / rwlock
+    BARRIER = "barrier"
+    CONDITION = "condition"
+    JOIN = "join"
+
+
+@dataclass(frozen=True, slots=True)
+class Wait:
+    """One blocked interval of one thread.
+
+    ``waker_*`` identify the event that ended the wait: the matching lock
+    RELEASE, the last BARRIER_ARRIVE of the cohort, the COND_SIGNAL /
+    COND_BROADCAST, or the joinee's THREAD_EXIT.  ``wake_seq`` is the
+    sequence number of this thread's own wake event (OBTAIN,
+    BARRIER_DEPART, COND_WAKE, JOIN_END); the backward walk cursors on it.
+    """
+
+    tid: int
+    kind: WaitKind
+    obj: int
+    start: float  # when the thread started blocking
+    end: float  # when the thread was woken
+    wake_seq: int  # seq of this thread's wake event
+    waker_tid: int
+    waker_time: float
+    waker_seq: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class HoldInterval:
+    """One critical section: a lock held from ``start`` to ``end``."""
+
+    tid: int
+    obj: int
+    start: float  # OBTAIN time
+    end: float  # RELEASE time
+    contended: bool  # whether the acquisition blocked
+    acquire_time: float  # ACQUIRE time (start - acquire_time is the wait)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def wait(self) -> float:
+        return self.start - self.acquire_time
+
+
+@dataclass(slots=True)
+class ThreadTimeline:
+    """Everything the analysis needs to know about one thread.
+
+    ``waits`` and each ``holds[obj]`` list are in increasing time order.
+    """
+
+    tid: int
+    name: str
+    start: float
+    end: float
+    creator_tid: int | None = None  # None for root threads
+    create_time: float = 0.0
+    create_seq: int = -1  # seq of the creator's THREAD_CREATE event
+    waits: list[Wait] = field(default_factory=list)
+    holds: dict[int, list[HoldInterval]] = field(default_factory=dict)
+
+    @property
+    def lifetime(self) -> float:
+        """Wall time between the thread's first and last event."""
+        return self.end - self.start
+
+    @property
+    def total_wait(self) -> float:
+        return sum(w.duration for w in self.waits)
+
+    def wait_time_by_kind(self) -> dict[WaitKind, float]:
+        """Total blocked time per synchronization kind."""
+        out: dict[WaitKind, float] = {}
+        for w in self.waits:
+            out[w.kind] = out.get(w.kind, 0.0) + w.duration
+        return out
+
+    def hold_time(self, obj: int) -> float:
+        """Total time this thread held lock ``obj``."""
+        return sum(h.duration for h in self.holds.get(obj, ()))
+
+
+@dataclass(frozen=True, slots=True)
+class CPPiece:
+    """One contiguous execution span on the critical path.
+
+    Pieces tile the whole execution: consecutive pieces share boundary
+    times, the first starts at the trace start and the last ends at the
+    trace end, so their durations sum to the end-to-end completion time.
+    """
+
+    tid: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class Junction:
+    """A point where the critical path crosses from one thread to another.
+
+    ``kind``/``obj`` describe the synchronization dependency at the
+    crossing; ``obj`` is ``-1`` for thread-creation junctions.
+    """
+
+    time: float
+    from_tid: int  # the waker (earlier on the path)
+    to_tid: int  # the woken thread (later on the path)
+    kind: WaitKind | None  # None for thread creation
+    obj: int

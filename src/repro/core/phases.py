@@ -1,0 +1,145 @@
+"""Phase analysis: per-barrier-phase critical lock statistics.
+
+Barrier-structured programs (Radiosity's iterations, Water's timesteps)
+have distinct phases whose bottlenecks differ; a whole-run ranking blurs
+them.  This module cuts the critical path at *global* barrier crossings
+(junctions where every thread synchronized) and computes each phase's
+lock CP shares, complementing the fixed-width windows of
+:mod:`repro.core.windows` with program-structure-aligned boundaries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.core.analyzer import AnalysisResult
+from repro.tables import format_table
+from repro.units import format_duration, format_percent
+
+__all__ = ["Phase", "PhaseReport", "split_phases"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One barrier-delimited span of the execution."""
+
+    index: int
+    start: float
+    end: float
+    boundary_obj: int  # barrier object ending this phase (-1 for the last)
+    lock_cp_shares: dict[str, float]  # lock name -> share of phase CP time
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def dominant_lock(self) -> str | None:
+        if not self.lock_cp_shares:
+            return None
+        name, share = max(self.lock_cp_shares.items(), key=lambda kv: kv[1])
+        return name if share > 0 else None
+
+
+@dataclass
+class PhaseReport:
+    """Phases of one execution with per-phase lock criticality."""
+
+    phases: list[Phase]
+
+    def render(self, top: int = 2) -> str:
+        rows = []
+        for ph in self.phases:
+            ranked = sorted(
+                ph.lock_cp_shares.items(), key=lambda kv: kv[1], reverse=True
+            )[:top]
+            desc = ", ".join(
+                f"{name} {format_percent(share)}" for name, share in ranked if share > 0
+            )
+            rows.append(
+                [ph.index, f"{ph.start:.4g}", f"{ph.end:.4g}",
+                 format_duration(ph.duration), desc or "(no lock time)"]
+            )
+        return format_table(
+            ["Phase", "Start", "End", "Duration", "Top locks (share of phase CP)"],
+            rows,
+            title="Barrier-phase critical lock analysis",
+        )
+
+
+def split_phases(analysis: AnalysisResult) -> PhaseReport:
+    """Cut the execution at barrier generations crossed by every thread.
+
+    A barrier generation is a *global* phase boundary when its cohort
+    includes every thread of the trace; its departure time splits the
+    critical path.
+    """
+    trace = analysis.trace
+    nthreads = len(analysis.timelines)
+    # Find global-barrier departure times via the timelines' waits plus
+    # the last arrivers (who have no wait): collect per (obj, gen)
+    # participant counts from the raw trace.
+    from collections import defaultdict
+
+    from repro.trace.events import EventType
+
+    cohorts: dict[tuple[int, int], int] = defaultdict(int)
+    depart_time: dict[tuple[int, int], float] = {}
+    for ev in trace:
+        if ev.etype == EventType.BARRIER_ARRIVE:
+            cohorts[(ev.obj, ev.arg)] += 1
+        elif ev.etype == EventType.BARRIER_DEPART:
+            depart_time[(ev.obj, ev.arg)] = max(
+                depart_time.get((ev.obj, ev.arg), 0.0), ev.time
+            )
+    boundaries = sorted(
+        (t, obj)
+        for (obj, gen), t in depart_time.items()
+        if cohorts[(obj, gen)] == nthreads
+    )
+
+    edges = [trace.start_time] + [t for t, _ in boundaries] + [trace.end_time]
+    objs = [obj for _, obj in boundaries] + [-1]
+    # Deduplicate degenerate spans (consecutive barriers at one instant).
+    phases: list[Phase] = []
+    pieces_by_tid = analysis.critical_path.pieces_by_thread()
+    for i in range(len(edges) - 1):
+        start, end = edges[i], edges[i + 1]
+        if end <= start:
+            continue
+        shares = _phase_lock_shares(analysis, pieces_by_tid, start, end)
+        phases.append(
+            Phase(
+                index=len(phases),
+                start=start,
+                end=end,
+                boundary_obj=objs[i],
+                lock_cp_shares=shares,
+            )
+        )
+    return PhaseReport(phases=phases)
+
+
+def _phase_lock_shares(
+    analysis: AnalysisResult, pieces_by_tid, start: float, end: float
+) -> dict[str, float]:
+    span = end - start
+    shares: dict[str, float] = {}
+    for info in analysis.trace.locks:
+        total = 0.0
+        for tid, pieces in pieces_by_tid.items():
+            holds = analysis.timelines[tid].holds.get(info.obj)
+            if not holds:
+                continue
+            starts = [h.start for h in holds]
+            for p in pieces:
+                lo, hi = max(p.start, start), min(p.end, end)
+                if hi <= lo:
+                    continue
+                j = max(0, bisect_right(starts, lo) - 1)
+                while j < len(holds) and holds[j].start < hi:
+                    h = holds[j]
+                    total += max(0.0, min(hi, h.end) - max(lo, h.start))
+                    j += 1
+        shares[info.display_name] = total / span if span > 0 else 0.0
+    return shares

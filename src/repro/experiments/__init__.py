@@ -1,0 +1,37 @@
+"""Experiment regeneration: one module per table/figure of the paper.
+
+Every experiment returns an :class:`~repro.experiments.harness.ExperimentResult`
+whose ``render()`` prints the rows the paper reports; the benchmark
+harness in ``benchmarks/`` runs them and asserts the paper's qualitative
+shape (who wins, by roughly what factor, where crossovers fall).
+"""
+
+from repro.experiments.harness import ExperimentResult, list_experiments, run_experiment
+from repro.experiments import (  # noqa: F401 (registration side effects)
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10_11,
+    fig12,
+    fig13_14,
+    overhead,
+    scaling,
+    tsp_opt,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10_11",
+    "fig12",
+    "fig13_14",
+    "overhead",
+    "scaling",
+    "tsp_opt",
+]

@@ -1,0 +1,111 @@
+"""Experiment plumbing: result container, registry, static tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.tables import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "experiment",
+    "run_experiment",
+    "list_experiments",
+    "table1",
+    "table2",
+]
+
+_EXPERIMENTS: dict[str, Callable[..., "ExperimentResult"]] = {}
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output of one experiment plus machine-readable values."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: list[str] = field(default_factory=list)
+    values: dict[str, Any] = field(default_factory=dict)
+    extra_text: str = ""
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")]
+        if self.extra_text:
+            parts.append(self.extra_text)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def experiment(exp_id: str):
+    """Decorator registering an experiment entry point under ``exp_id``."""
+
+    def wrap(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        _EXPERIMENTS[exp_id] = fn
+        return fn
+
+    return wrap
+
+
+def run_experiment(exp_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run a registered experiment by id (``fig6`` … ``tsp_opt``)."""
+    try:
+        fn = _EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; available: {', '.join(sorted(_EXPERIMENTS))}"
+        ) from None
+    return fn(**kwargs)
+
+
+def list_experiments() -> list[str]:
+    """Registered experiment ids."""
+    return sorted(_EXPERIMENTS)
+
+
+@experiment("table1")
+def table1() -> ExperimentResult:
+    """Paper Table 1 — experimental configuration, paper vs this reproduction."""
+    rows = [
+        ["Machine", "POWER7, 2s x 6c x SMT2 (24 HW threads)", "virtual-time simulator"],
+        ["Timestamps", "mftb time-base register", "virtual clock (exact)"],
+        ["Radiosity input", "-batch -largeroom", "640 tasks x 3 iterations"],
+        ["Water-nsquared input", "512 molec", "512 molec, 3 timesteps"],
+        ["Volrend input", "head", "320 tiles x 3 frames"],
+        ["Raytrace input", "car 256", "48 bundles/thread"],
+        ["TSP input", "10 cities", "10 cities (seeded euclidean)"],
+        ["UTS input", "-T8 -c 2 ST3", "tree_seed=8, 240 root children"],
+        ["OpenLDAP input", "10k directory entries, SLAMD", "10k entries, queued search load"],
+    ]
+    return ExperimentResult(
+        exp_id="table1",
+        title="Experimental configuration (paper vs reproduction)",
+        headers=["Item", "Paper", "Reproduction"],
+        rows=rows,
+    )
+
+
+@experiment("table2")
+def table2() -> ExperimentResult:
+    """Paper Table 2 — the TYPE 1 / TYPE 2 statistic definitions."""
+    rows = [
+        ["TYPE 1", "CP Time %",
+         "fraction of the critical path inside hot critical sections of the lock"],
+        ["TYPE 1", "Invocation # on CP", "invocations of the lock along the critical path"],
+        ["TYPE 1", "Cont. Prob. on CP %",
+         "contended fraction of the lock's invocations on the critical path"],
+        ["TYPE 2", "Wait Time %", "avg fraction of thread time spent waiting for the lock"],
+        ["TYPE 2", "Avg. Invo. #", "average invocations of the lock per thread"],
+        ["TYPE 2", "Avg. Cont. Prob %", "contended fraction over all invocations"],
+        ["TYPE 2", "Avg. Hold Time %", "avg fraction of thread time inside the lock's CSs"],
+    ]
+    return ExperimentResult(
+        exp_id="table2",
+        title="Metric definitions (TYPE 1 = this paper, TYPE 2 = prior approaches)",
+        headers=["Class", "Metric", "Meaning"],
+        rows=rows,
+    )

@@ -1,0 +1,61 @@
+"""Paper §V.E — TSP's ``Qlock`` and the head/tail split optimization.
+
+The paper: ``Qlock`` contributes ~68% of the critical path at 24
+threads; splitting it into ``Q_headlock``/``Q_taillock`` parallelizes
+enqueue and dequeue and improves end-to-end performance by ~19%.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyzer import analyze
+from repro.experiments.harness import ExperimentResult, experiment
+from repro.units import format_percent
+from repro.workloads.tsp import TSP
+
+__all__ = ["run"]
+
+
+@experiment("tsp_opt")
+def run(nthreads: int = 24, seed: int = 0) -> ExperimentResult:
+    orig = TSP().run(nthreads=nthreads, seed=seed)
+    analysis = analyze(orig.trace)
+    qlock = analysis.report.lock("Q.qlock")
+
+    opt = TSP(split_queue=True).run(nthreads=nthreads, seed=seed)
+    opt_analysis = analyze(opt.trace)
+    improvement = orig.completion_time / opt.completion_time - 1.0
+
+    rows = [
+        [
+            "Q.qlock (original)",
+            format_percent(qlock.cp_fraction),
+            format_percent(qlock.avg_wait_fraction),
+            f"{orig.completion_time:.2f}",
+        ]
+    ]
+    for m in opt_analysis.report.top_locks(2):
+        rows.append(
+            [
+                f"{m.name} (optimized)",
+                format_percent(m.cp_fraction),
+                format_percent(m.avg_wait_fraction),
+                f"{opt.completion_time:.2f}",
+            ]
+        )
+    return ExperimentResult(
+        exp_id="tsp_opt",
+        title=f"TSP Qlock split optimization ({nthreads} threads)",
+        headers=["Lock", "CP Time %", "Wait Time %", "Completion time"],
+        rows=rows,
+        notes=[
+            f"end-to-end improvement from the split: {improvement:+.1%} "
+            "(paper: ~19% at 24 threads; Qlock ~68% of the critical path)",
+        ],
+        values={
+            "qlock_cp_fraction": qlock.cp_fraction,
+            "qlock_wait_fraction": qlock.avg_wait_fraction,
+            "orig_time": orig.completion_time,
+            "opt_time": opt.completion_time,
+            "improvement": improvement,
+        },
+    )

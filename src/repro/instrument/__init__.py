@@ -1,0 +1,57 @@
+"""Instrumentation for *real* Python threads.
+
+The analog of the paper's LD_PRELOAD module (Fig. 4): traced wrappers
+around :mod:`threading` primitives record the same event schema the
+simulator emits, so the analysis module works unchanged on real runs.
+
+Two deliberate deviations from the paper's C implementation, both forced
+by observability rather than taste, are documented in DESIGN.md:
+
+* release/signal/arrival timestamps are taken *before* the underlying
+  call (the paper records after the unlock), which guarantees the waker's
+  event precedes the wake in the merged trace and keeps the backward
+  walk's termination invariant on real traces;
+* ``Condition.wait`` folds the mutex reacquisition into the condition
+  wait (the reacquire happens inside ``threading.Condition``, out of our
+  sight).
+
+Note Python's GIL serializes bytecode execution, so *scalability*
+numbers from real threads are not meaningful — use the simulator for
+the paper's experiments; use this package to profile real applications'
+synchronization structure.
+
+Example::
+
+    from repro.instrument import ProfilingSession
+
+    with ProfilingSession(name="myapp") as session:
+        lock = session.lock("shared")
+        threads = [session.thread(worker, args=(lock,)) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    report = analyze(session.trace())
+"""
+
+from repro.instrument.autopatch import PatchedThread, patch_threading
+from repro.instrument.clock import Clock, MonotonicClock, VirtualClock
+from repro.instrument.locks import TracedLock, TracedRLock
+from repro.instrument.barrier import TracedBarrier
+from repro.instrument.condition import TracedCondition
+from repro.instrument.session import ProfilingSession
+from repro.instrument.threads import TracedThread
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "ProfilingSession",
+    "TracedLock",
+    "TracedRLock",
+    "patch_threading",
+    "PatchedThread",
+    "TracedBarrier",
+    "TracedCondition",
+    "TracedThread",
+]

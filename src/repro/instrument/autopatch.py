@@ -1,0 +1,146 @@
+"""Global interposition on :mod:`threading` — the real LD_PRELOAD analog.
+
+The paper preloads a shared library so *unmodified* applications get
+traced (§IV.A).  Python's equivalent is monkey-patching the factory
+functions in :mod:`threading`: inside :func:`patch_threading`, code that
+calls ``threading.Lock()``, ``threading.RLock()``, ``threading.Barrier``,
+``threading.Condition`` or ``threading.Thread`` receives traced
+replacements bound to the active session — no source changes needed::
+
+    with ProfilingSession(name="app") as session:
+        with patch_threading(session):
+            unmodified_module.main()   # uses plain `threading` internally
+    report = analyze(session.trace())
+
+Scope and caveats:
+
+* only objects *created inside* the patch window are traced; direct
+  imports bound before patching (``from threading import Lock``) are not
+  intercepted — same limitation as symbol interposition with static
+  linking;
+* the low-level ``threading._allocate_lock`` is left alone (patching it
+  breaks interpreter internals), so ``threading.Event``/``queue.Queue``
+  internals remain untraced.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.instrument.barrier import TracedBarrier
+from repro.instrument.condition import TracedCondition
+from repro.instrument.locks import TracedLock, TracedRLock
+from repro.instrument.session import ProfilingSession
+from repro.instrument.threads import TracedThread
+
+__all__ = ["patch_threading", "PatchedThread"]
+
+
+class PatchedThread:
+    """``threading.Thread``-compatible facade over :class:`TracedThread`."""
+
+    def __init__(
+        self,
+        group=None,
+        target: Callable[..., Any] | None = None,
+        name: str | None = None,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        *,
+        daemon: bool | None = None,
+        session: ProfilingSession | None = None,
+    ):
+        if session is None:  # pragma: no cover - bound via partial below
+            raise RuntimeError("PatchedThread requires a session")
+        self._traced = TracedThread(
+            session, target or (lambda: None), args, kwargs or {}, name or ""
+        )
+        self.daemon = bool(daemon)
+
+    @property
+    def name(self) -> str:
+        return self._traced.name
+
+    @property
+    def result(self) -> Any:
+        return self._traced.result
+
+    def start(self) -> None:
+        self._traced.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        self._traced.join(timeout)
+
+    def is_alive(self) -> bool:
+        return self._traced.is_alive()
+
+
+def _caller_is_interpreter_internal() -> bool:
+    """True when the factory call comes from the threading machinery itself.
+
+    CPython's ``Thread``/``Event``/internal bookkeeping create locks and
+    conditions through the same module globals we patch; those must get
+    the *real* primitives or the interpreter recurses into our tracing
+    from unregistered bootstrap threads.  This is the Python analog of
+    resolving the next symbol with ``dlsym(RTLD_NEXT, ...)``.
+    """
+    import sys
+
+    frame = sys._getframe(2)  # _caller_is_interpreter_internal -> factory -> caller
+    mod = frame.f_globals.get("__name__", "")
+    return mod == "threading" or mod.startswith("threading.") or mod == "_threading_local"
+
+
+@contextlib.contextmanager
+def patch_threading(session: ProfilingSession) -> Iterator[None]:
+    """Patch ``threading`` factories to emit into ``session`` (see above)."""
+    counters = {"lock": 0, "rlock": 0, "barrier": 0, "cond": 0}
+    saved = {
+        "Lock": threading.Lock,
+        "RLock": threading.RLock,
+        "Barrier": threading.Barrier,
+        "Condition": threading.Condition,
+        "Thread": threading.Thread,
+    }
+
+    def make_lock():
+        if _caller_is_interpreter_internal():
+            return saved["Lock"]()
+        counters["lock"] += 1
+        return TracedLock(session, f"Lock#{counters['lock']}")
+
+    def make_rlock():
+        if _caller_is_interpreter_internal():
+            return saved["RLock"]()
+        counters["rlock"] += 1
+        return TracedRLock(session, f"RLock#{counters['rlock']}")
+
+    def make_barrier(parties, action=None, timeout=None):
+        if _caller_is_interpreter_internal():
+            return saved["Barrier"](parties, action, timeout)
+        counters["barrier"] += 1
+        return TracedBarrier(session, parties, f"Barrier#{counters['barrier']}")
+
+    def make_condition(lock=None):
+        if _caller_is_interpreter_internal():
+            return saved["Condition"](lock)
+        counters["cond"] += 1
+        traced_lock = lock if isinstance(lock, TracedLock) else None
+        return TracedCondition(session, traced_lock, f"Condition#{counters['cond']}")
+
+    def make_thread(*args, **kwargs):
+        if _caller_is_interpreter_internal():
+            return saved["Thread"](*args, **kwargs)
+        return PatchedThread(*args, session=session, **kwargs)
+    threading.Lock = make_lock  # type: ignore[misc]
+    threading.RLock = make_rlock  # type: ignore[misc]
+    threading.Barrier = make_barrier  # type: ignore[misc]
+    threading.Condition = make_condition  # type: ignore[misc]
+    threading.Thread = make_thread  # type: ignore[misc]
+    try:
+        yield
+    finally:
+        for attr, original in saved.items():
+            setattr(threading, attr, original)

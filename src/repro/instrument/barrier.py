@@ -1,0 +1,44 @@
+"""Traced barrier for real threads (paper Fig. 4, ``pthread_barrier_wait``).
+
+The arrival timestamp is recorded *before* the real wait (exactly as the
+paper does), so the cohort's last arrival — the waker of every departure
+— always precedes the departures in the merged trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING
+
+from repro.trace.events import EventType, ObjectKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.instrument.session import ProfilingSession
+
+__all__ = ["TracedBarrier"]
+
+_real_barrier_factory = threading.Barrier  # bound pre-patching (see autopatch)
+
+
+class TracedBarrier:
+    """Drop-in ``threading.Barrier`` replacement recording barrier events."""
+
+    __slots__ = ("session", "obj", "name", "parties", "_real", "_arrivals")
+
+    def __init__(self, session: "ProfilingSession", parties: int, name: str = ""):
+        self.session = session
+        self.name = name
+        self.parties = parties
+        self.obj = session.register_object(ObjectKind.BARRIER, name)
+        self._real = _real_barrier_factory(parties)
+        self._arrivals = itertools.count()  # GIL-atomic generation counter
+
+    def wait(self) -> int:
+        """Wait at the barrier; returns the real barrier's arrival index."""
+        s = self.session
+        gen = next(self._arrivals) // self.parties
+        s.emit_here(EventType.BARRIER_ARRIVE, obj=self.obj, arg=gen)
+        idx = self._real.wait()
+        s.emit_here(EventType.BARRIER_DEPART, obj=self.obj, arg=gen)
+        return idx

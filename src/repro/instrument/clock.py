@@ -1,0 +1,50 @@
+"""Timestamp sources for the instrumentation layer.
+
+The paper reads the POWER7 time-base register (``mftb``; ``rdtsc`` on
+x86) for low-overhead user-space timestamps.  The portable Python
+equivalent is :func:`time.perf_counter_ns`, a monotonic, cross-thread-
+consistent nanosecond counter.  :class:`VirtualClock` provides a
+manually-advanced clock so instrumentation tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "MonotonicClock", "VirtualClock"]
+
+
+class Clock(Protocol):
+    """Anything that yields monotonically non-decreasing nanoseconds."""
+
+    def now_ns(self) -> int:  # pragma: no cover - protocol
+        ...
+
+
+class MonotonicClock:
+    """Wall-clock source backed by :func:`time.perf_counter_ns`."""
+
+    __slots__ = ()
+
+    def now_ns(self) -> int:
+        return time.perf_counter_ns()
+
+
+class VirtualClock:
+    """Manually advanced clock for deterministic instrumentation tests."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0):
+        self._now = start_ns
+
+    def now_ns(self) -> int:
+        return self._now
+
+    def advance(self, delta_ns: int) -> int:
+        """Move time forward; returns the new reading."""
+        if delta_ns < 0:
+            raise ValueError("clock cannot go backwards")
+        self._now += delta_ns
+        return self._now

@@ -1,0 +1,89 @@
+"""Traced condition variable for real threads (paper Fig. 4, ``pthread_cond_*``).
+
+Records COND_BLOCK before waiting and COND_WAKE after, with the
+signaller's tid captured through a slot written under the shared lock by
+``notify``/``notify_all`` (the paper's "which thread blocked the thread
+waiting for a condition variable").  Because ``threading.Condition``
+reacquires the mutex internally, the reacquisition is recorded as an
+uncontended acquire at wake time and any reacquisition delay is folded
+into the condition wait — a documented deviation from the simulator's
+exact accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import SyncUsageError
+from repro.instrument.locks import TracedLock
+from repro.trace.events import EventType, ObjectKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.instrument.session import ProfilingSession
+
+__all__ = ["TracedCondition"]
+
+_real_condition_factory = threading.Condition  # bound pre-patching (see autopatch)
+
+
+class TracedCondition:
+    """Drop-in ``threading.Condition`` replacement recording cond events."""
+
+    __slots__ = ("session", "obj", "name", "lock", "_real", "_last_signaller")
+
+    def __init__(
+        self,
+        session: "ProfilingSession",
+        lock: TracedLock | None = None,
+        name: str = "",
+    ):
+        self.session = session
+        self.name = name
+        self.obj = session.register_object(ObjectKind.CONDITION, name)
+        self.lock = lock if lock is not None else TracedLock(session, f"{name}.lock")
+        self._real = _real_condition_factory(self.lock.real_lock)
+        self._last_signaller: int = -1
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Wait for a signal; the traced lock must be held."""
+        s = self.session
+        if not self.lock.locked():
+            raise SyncUsageError(f"cond_wait on {self.name!r} without holding its lock")
+        t0 = s.emit_here(EventType.COND_BLOCK, obj=self.obj)
+        s.emit_here(EventType.RELEASE, obj=self.lock.obj, at_ns=t0)
+        ok = self._real.wait(timeout)
+        # We hold the lock again; _last_signaller was written under it.
+        signaller = self._last_signaller if ok else s.current_tid()
+        t1 = s.emit_here(EventType.COND_WAKE, obj=self.obj, arg=signaller)
+        s.emit_here(EventType.ACQUIRE, obj=self.lock.obj, at_ns=t1)
+        s.emit_here(EventType.OBTAIN, obj=self.lock.obj, arg=0, at_ns=t1)
+        return ok
+
+    def wait_for(self, predicate, timeout: float | None = None) -> bool:
+        """``threading.Condition.wait_for`` equivalent over traced waits."""
+        result = predicate()
+        while not result:
+            if not self.wait(timeout):
+                return bool(predicate())
+            result = predicate()
+        return bool(result)
+
+    def notify(self, n: int = 1) -> None:
+        """Wake up to ``n`` waiters; the traced lock must be held."""
+        self._last_signaller = self.session.current_tid()
+        self.session.emit_here(EventType.COND_SIGNAL, obj=self.obj, arg=n)
+        self._real.notify(n)
+
+    def notify_all(self) -> None:
+        """Wake all waiters; the traced lock must be held."""
+        self._last_signaller = self.session.current_tid()
+        self.session.emit_here(EventType.COND_BROADCAST, obj=self.obj, arg=0)
+        self._real.notify_all()
+
+    def __enter__(self) -> "TracedCondition":
+        self.lock.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.lock.release()

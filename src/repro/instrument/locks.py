@@ -1,0 +1,142 @@
+"""Traced mutex for real threads (paper Fig. 4, ``pthread_mutex_*``).
+
+Implements the paper's trylock-first protocol: attempt a non-blocking
+acquire; if it fails the acquisition is *contended* and we fall back to
+a blocking acquire.  The release timestamp is taken before the real
+unlock so the waker's RELEASE always precedes the waiter's OBTAIN in the
+merged trace (see the package docstring for why we deviate from the
+paper here).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.trace.events import EventType, ObjectKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.instrument.session import ProfilingSession
+
+__all__ = ["TracedLock", "TracedRLock"]
+
+# Originals bound at import time so autopatch interposition cannot recurse
+# into our own constructors (the LD_PRELOAD dlsym(RTLD_NEXT) analog).
+_real_lock_factory = threading.Lock
+_real_rlock_factory = threading.RLock
+
+
+class TracedLock:
+    """Drop-in ``threading.Lock`` replacement that records lock events."""
+
+    __slots__ = ("session", "obj", "name", "_real")
+
+    def __init__(self, session: "ProfilingSession", name: str = ""):
+        self.session = session
+        self.name = name
+        self.obj = session.register_object(ObjectKind.MUTEX, name)
+        self._real = _real_lock_factory()
+
+    def acquire(self, blocking: bool = True) -> bool:
+        """Acquire, recording ACQUIRE and OBTAIN (with the contended flag)."""
+        s = self.session
+        if not blocking:
+            got = self._real.acquire(blocking=False)
+            if got:
+                t = s.emit_here(EventType.ACQUIRE, obj=self.obj)
+                s.emit_here(EventType.OBTAIN, obj=self.obj, arg=0, at_ns=t)
+            return got
+        t_try = s.emit_here(EventType.ACQUIRE, obj=self.obj)
+        if self._real.acquire(blocking=False):
+            # Uncontended: obtain at (essentially) the acquire time.
+            s.emit_here(EventType.OBTAIN, obj=self.obj, arg=0, at_ns=t_try)
+            return True
+        self._real.acquire()  # contended: block for the lock
+        s.emit_here(EventType.OBTAIN, obj=self.obj, arg=1)
+        return True
+
+    def release(self) -> None:
+        """Release, timestamping *before* the real unlock (see module doc)."""
+        s = self.session
+        t = s.clock.now_ns()
+        self._real.release()
+        s.emit_here(EventType.RELEASE, obj=self.obj, at_ns=t)
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __enter__(self) -> "TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    # Internal access for TracedCondition, which must share the real lock.
+    @property
+    def real_lock(self) -> threading.Lock:
+        return self._real
+
+
+class TracedRLock:
+    """Drop-in ``threading.RLock`` replacement.
+
+    Only the *outermost* acquire/release pair is traced — nested
+    re-acquisitions by the owner are bookkeeping, not synchronization —
+    so the analysis sees one critical section per ownership episode,
+    mirroring the simulator's reentrant mutex.
+    """
+
+    __slots__ = ("session", "obj", "name", "_real", "_owner", "_depth")
+
+    def __init__(self, session: "ProfilingSession", name: str = ""):
+        self.session = session
+        self.name = name
+        self.obj = session.register_object(ObjectKind.MUTEX, name)
+        self._real = _real_rlock_factory()
+        self._owner: int | None = None
+        self._depth = 0
+
+    def acquire(self, blocking: bool = True) -> bool:
+        s = self.session
+        me = threading.get_ident()
+        if self._owner == me:  # nested: silent
+            self._real.acquire()
+            self._depth += 1
+            return True
+        if not blocking:
+            got = self._real.acquire(blocking=False)
+            if got:
+                self._owner = me
+                self._depth = 1
+                t = s.emit_here(EventType.ACQUIRE, obj=self.obj)
+                s.emit_here(EventType.OBTAIN, obj=self.obj, arg=0, at_ns=t)
+            return got
+        t_try = s.emit_here(EventType.ACQUIRE, obj=self.obj)
+        if self._real.acquire(blocking=False):
+            s.emit_here(EventType.OBTAIN, obj=self.obj, arg=0, at_ns=t_try)
+        else:
+            self._real.acquire()
+            s.emit_here(EventType.OBTAIN, obj=self.obj, arg=1)
+        self._owner = me
+        self._depth = 1
+        return True
+
+    def release(self) -> None:
+        s = self.session
+        if self._owner == threading.get_ident() and self._depth > 1:
+            self._depth -= 1
+            self._real.release()
+            return
+        self._owner = None
+        self._depth = 0
+        t = s.clock.now_ns()
+        self._real.release()
+        s.emit_here(EventType.RELEASE, obj=self.obj, at_ns=t)
+
+    def __enter__(self) -> "TracedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

@@ -1,0 +1,182 @@
+"""Profiling sessions: thread registry, event buffers, trace assembly.
+
+A :class:`ProfilingSession` plays the role of the paper's preloaded
+instrumentation library: it hands out traced synchronization primitives,
+assigns thread ids, buffers event records per thread in memory (one
+Python list per thread — appends are GIL-atomic and contention-free) and
+assembles the final :class:`~repro.trace.Trace` when the session closes,
+the analog of the paper's flush-on-completion trace file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable
+
+from repro.errors import TraceError
+from repro.instrument.clock import Clock, MonotonicClock
+from repro.trace.events import NO_OBJECT, Event, EventType, ObjectKind
+from repro.trace.trace import ObjectInfo, Trace
+from repro.units import ns_to_time
+
+__all__ = ["ProfilingSession"]
+
+
+class ProfilingSession:
+    """Collects synchronization events from real Python threads.
+
+    Use as a context manager; the enclosing (usually main) thread is
+    registered as tid 0 for the duration of the ``with`` block.  After
+    the block, :meth:`trace` returns the assembled trace.
+    """
+
+    def __init__(self, name: str = "", clock: Clock | None = None):
+        self.name = name
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self._tls = threading.local()
+        self._buffers: dict[int, list[Event]] = {}
+        self._objects: dict[int, ObjectInfo] = {}
+        self._thread_names: dict[int, str] = {}
+        self._registry_lock = threading.Lock()  # untraced internal lock
+        self._next_tid = itertools.count()
+        self._next_obj = itertools.count()
+        self._seq = itertools.count()  # global tie-breaker for merged sort
+        self._t0_ns = 0
+        self._active = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ProfilingSession":
+        if self._active or self._closed:
+            raise TraceError("ProfilingSession is not reusable")
+        self._active = True
+        self._t0_ns = self.clock.now_ns()
+        tid = self.register_thread("main")
+        self.emit(tid, EventType.THREAD_START)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tid = self.current_tid()
+        self.emit(tid, EventType.THREAD_EXIT)
+        self._active = False
+        self._closed = True
+
+    # -- thread registry ------------------------------------------------------
+
+    def register_thread(self, name: str = "") -> int:
+        """Assign a tid to the calling thread and open its event buffer."""
+        tid = next(self._next_tid)
+        self._tls.tid = tid
+        with self._registry_lock:
+            self._buffers[tid] = []
+            self._thread_names[tid] = name or f"T{tid}"
+        return tid
+
+    def allocate_tid(self, name: str = "") -> int:
+        """Pre-assign a tid for a thread that has not started yet."""
+        tid = next(self._next_tid)
+        with self._registry_lock:
+            self._buffers[tid] = []
+            self._thread_names[tid] = name or f"T{tid}"
+        return tid
+
+    def adopt_tid(self, tid: int) -> None:
+        """Bind a pre-allocated tid to the calling thread."""
+        self._tls.tid = tid
+
+    def current_tid(self) -> int:
+        """Tid of the calling thread (must be registered)."""
+        try:
+            return self._tls.tid
+        except AttributeError:
+            raise TraceError(
+                "calling thread is not registered with this ProfilingSession; "
+                "spawn threads via session.thread(...)"
+            ) from None
+
+    # -- object registry -------------------------------------------------------
+
+    def register_object(self, kind: ObjectKind, name: str) -> int:
+        obj = next(self._next_obj)
+        with self._registry_lock:
+            self._objects[obj] = ObjectInfo(obj=obj, kind=kind, name=name)
+        return obj
+
+    # -- event emission (the MAGIC() analog) ------------------------------------
+
+    def emit(
+        self,
+        tid: int,
+        etype: EventType,
+        obj: int = NO_OBJECT,
+        arg: int = 0,
+        at_ns: int | None = None,
+    ) -> int:
+        """Record one event for thread ``tid``; returns the timestamp used."""
+        t_ns = self.clock.now_ns() if at_ns is None else at_ns
+        self._buffers[tid].append(
+            Event(
+                seq=next(self._seq),
+                time=ns_to_time(t_ns - self._t0_ns),
+                tid=tid,
+                etype=etype,
+                obj=obj,
+                arg=arg,
+            )
+        )
+        return t_ns
+
+    def emit_here(
+        self, etype: EventType, obj: int = NO_OBJECT, arg: int = 0, at_ns: int | None = None
+    ) -> int:
+        """Emit for the calling thread."""
+        return self.emit(self.current_tid(), etype, obj, arg, at_ns)
+
+    # -- traced primitive factories -----------------------------------------------
+
+    def lock(self, name: str = "") -> "TracedLock":
+        """Create a traced mutual-exclusion lock."""
+        from repro.instrument.locks import TracedLock
+
+        return TracedLock(self, name)
+
+    def barrier(self, parties: int, name: str = "") -> "TracedBarrier":
+        """Create a traced cyclic barrier."""
+        from repro.instrument.barrier import TracedBarrier
+
+        return TracedBarrier(self, parties, name)
+
+    def condition(self, lock: "TracedLock | None" = None, name: str = "") -> "TracedCondition":
+        """Create a traced condition variable (optionally over a given lock)."""
+        from repro.instrument.condition import TracedCondition
+
+        return TracedCondition(self, lock, name)
+
+    def thread(
+        self,
+        target: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        name: str = "",
+    ) -> "TracedThread":
+        """Create a traced (not yet started) thread running ``target``."""
+        from repro.instrument.threads import TracedThread
+
+        return TracedThread(self, target, args, kwargs or {}, name)
+
+    # -- assembly -----------------------------------------------------------------
+
+    def trace(self) -> Trace:
+        """Merge all per-thread buffers into a time-ordered trace."""
+        if self._active:
+            raise TraceError("session still active; exit the 'with' block first")
+        with self._registry_lock:
+            events = [ev for buf in self._buffers.values() for ev in buf]
+            return Trace.from_events(
+                events,
+                objects=dict(self._objects),
+                threads=dict(self._thread_names),
+                meta={"name": self.name, "source": "instrument"},
+            )

@@ -1,0 +1,161 @@
+"""OpenMP-style constructs on the simulator.
+
+The paper notes (footnote 1) that its method applies beyond Pthreads to
+any lock-based threading model such as OpenMP.  This module provides the
+OpenMP surface a workload would use — ``parallel_for`` with static or
+dynamic scheduling, ``critical`` sections and ``reductions`` — built
+entirely from the traced primitives, so critical lock analysis sees
+OpenMP programs with no extra support:
+
+* dynamic scheduling takes chunks from a shared index guarded by a
+  schedule lock (the classic ``omp for schedule(dynamic)`` bottleneck);
+* ``omp critical`` maps to a named mutex;
+* reductions accumulate privately and merge under the critical lock.
+
+Example::
+
+    omp = OpenMP(prog, nthreads=8)
+
+    def body(env, i, ctx):
+        yield env.compute(cost(i))
+        yield from ctx.critical(env, "update", lambda: totals.append(i), cost=0.01)
+
+    omp.parallel_for(range(1000), body, schedule="dynamic", chunk=16)
+    prog.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+from repro.errors import WorkloadError
+from repro.sim import syscalls as sc
+from repro.sim.program import Program
+from repro.sim.sync import SimMutex
+
+__all__ = ["OpenMP", "OMPContext"]
+
+
+@dataclass
+class _DynamicSchedule:
+    items: Sequence[Any]
+    chunk: int
+    next_index: int = 0
+
+
+class OMPContext:
+    """Per-parallel-region handle passed to loop bodies."""
+
+    def __init__(self, omp: "OpenMP", tid_index: int):
+        self._omp = omp
+        self.thread_num = tid_index
+
+    def critical(
+        self,
+        env,
+        name: str,
+        action: Callable[[], Any] | None = None,
+        cost: float = 0.0,
+    ) -> Generator[sc.Request, Any, Any]:
+        """``#pragma omp critical [name]`` — run ``action`` under the lock.
+
+        Use as ``yield from ctx.critical(env, "update", fn, cost=0.01)``.
+        """
+        lock = self._omp._critical_lock(name)
+        yield env.acquire(lock)
+        if cost:
+            yield env.compute(cost)
+        result = action() if action is not None else None
+        yield env.release(lock)
+        return result
+
+
+class OpenMP:
+    """An OpenMP-flavoured layer over a :class:`Program`."""
+
+    def __init__(self, prog: Program, nthreads: int):
+        if nthreads < 1:
+            raise WorkloadError(f"nthreads must be >= 1, got {nthreads}")
+        self.prog = prog
+        self.nthreads = nthreads
+        self._criticals: dict[str, SimMutex] = {}
+        self._region = 0
+
+    def _critical_lock(self, name: str) -> SimMutex:
+        if name not in self._criticals:
+            self._criticals[name] = self.prog.mutex(f"omp_critical:{name}")
+        return self._criticals[name]
+
+    def parallel_for(
+        self,
+        items: Sequence[Any],
+        body: Callable[..., Generator[sc.Request, Any, Any]],
+        schedule: str = "static",
+        chunk: int = 1,
+        schedule_cost: float = 0.002,
+        name: str | None = None,
+    ) -> None:
+        """Spawn a team executing ``body(env, item, ctx)`` over ``items``.
+
+        ``schedule="static"`` pre-partitions round-robin by chunk (no
+        synchronization); ``"dynamic"`` pulls chunks from a shared index
+        under a per-region schedule lock, whose critical sections the
+        analysis will see.  There is an implicit barrier at region end
+        (the team threads simply exit; callers spawn per region).
+        """
+        if schedule not in ("static", "dynamic"):
+            raise WorkloadError(f"unknown schedule {schedule!r}")
+        if chunk < 1:
+            raise WorkloadError(f"chunk must be >= 1, got {chunk}")
+        self._region += 1
+        region_name = name or f"omp_for_{self._region}"
+        items = list(items)
+
+        if schedule == "static":
+            assignments = [
+                [
+                    items[i]
+                    for base in range(t * chunk, len(items), self.nthreads * chunk)
+                    for i in range(base, min(base + chunk, len(items)))
+                ]
+                for t in range(self.nthreads)
+            ]
+
+            def static_worker(env, t):
+                ctx = OMPContext(self, t)
+                for item in assignments[t]:
+                    yield from _drive(body, env, item, ctx)
+
+            for t in range(self.nthreads):
+                self.prog.spawn(static_worker, t, name=f"{region_name}-t{t}")
+            return
+
+        state = _DynamicSchedule(items=items, chunk=chunk)
+        sched_lock = self.prog.mutex(f"{region_name}.schedule_lock")
+
+        def dynamic_worker(env, t):
+            ctx = OMPContext(self, t)
+            while True:
+                yield env.acquire(sched_lock)
+                yield env.compute(schedule_cost)
+                lo = state.next_index
+                hi = min(lo + state.chunk, len(state.items))
+                state.next_index = hi
+                yield env.release(sched_lock)
+                if lo >= hi:
+                    return
+                for item in state.items[lo:hi]:
+                    yield from _drive(body, env, item, ctx)
+
+        for t in range(self.nthreads):
+            self.prog.spawn(dynamic_worker, t, name=f"{region_name}-t{t}")
+
+
+def _drive(body, env, item, ctx):
+    """Run one body invocation, tolerating non-generator bodies."""
+    out = body(env, item, ctx)
+    if out is not None and hasattr(out, "__iter__"):
+        result = yield from out
+        return result
+    return out

@@ -1,0 +1,161 @@
+"""Requests a simulated thread can yield to the engine.
+
+A thread body is a generator; each ``yield`` hands the engine a request
+object from this module and suspends the thread until the engine resumes
+it (possibly with a result value, e.g. ``TryAcquire`` yields back a bool).
+
+Thread code normally constructs requests through the convenience methods
+on :class:`repro.sim.thread.SimThread` (``env.compute(...)``,
+``env.acquire(...)``), so these classes rarely appear by name in workload
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.sync import SimBarrier, SimCondition, SimMutex, SimRWLock, SimSemaphore
+    from repro.sim.thread import ThreadHandle
+
+__all__ = [
+    "Request",
+    "Compute",
+    "Acquire",
+    "TryAcquire",
+    "Release",
+    "BarrierWait",
+    "CondWait",
+    "CondSignal",
+    "CondBroadcast",
+    "SemAcquire",
+    "SemRelease",
+    "RWAcquire",
+    "RWRelease",
+    "Spawn",
+    "Join",
+    "YieldCore",
+]
+
+
+class Request:
+    """Base class of all simulator requests (marker only)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Compute(Request):
+    """Run for ``duration`` units of virtual time while holding the core."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative compute duration {self.duration}")
+
+
+@dataclass(frozen=True, slots=True)
+class Acquire(Request):
+    """Block until the mutex is obtained; resumes with ``None``."""
+
+    mutex: "SimMutex"
+
+
+@dataclass(frozen=True, slots=True)
+class TryAcquire(Request):
+    """Non-blocking acquire; resumes with ``True`` iff obtained."""
+
+    mutex: "SimMutex"
+
+
+@dataclass(frozen=True, slots=True)
+class Release(Request):
+    """Release a held mutex."""
+
+    mutex: "SimMutex"
+
+
+@dataclass(frozen=True, slots=True)
+class BarrierWait(Request):
+    """Wait until every party arrived at the barrier."""
+
+    barrier: "SimBarrier"
+
+
+@dataclass(frozen=True, slots=True)
+class CondWait(Request):
+    """Atomically release ``mutex`` and wait for a signal, then reacquire."""
+
+    cond: "SimCondition"
+    mutex: "SimMutex"
+
+
+@dataclass(frozen=True, slots=True)
+class CondSignal(Request):
+    """Wake one waiter (if any); resumes with the number woken."""
+
+    cond: "SimCondition"
+
+
+@dataclass(frozen=True, slots=True)
+class CondBroadcast(Request):
+    """Wake all waiters; resumes with the number woken."""
+
+    cond: "SimCondition"
+
+
+@dataclass(frozen=True, slots=True)
+class SemAcquire(Request):
+    """Decrement the semaphore, blocking at zero."""
+
+    sem: "SimSemaphore"
+
+
+@dataclass(frozen=True, slots=True)
+class SemRelease(Request):
+    """Increment the semaphore, waking one blocked acquirer."""
+
+    sem: "SimSemaphore"
+
+
+@dataclass(frozen=True, slots=True)
+class RWAcquire(Request):
+    """Acquire a read-write lock in ``write`` or read mode."""
+
+    rwlock: "SimRWLock"
+    write: bool
+
+
+@dataclass(frozen=True, slots=True)
+class RWRelease(Request):
+    """Release a read-write lock held in ``write`` or read mode."""
+
+    rwlock: "SimRWLock"
+    write: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Spawn(Request):
+    """Create a new thread; resumes with its :class:`ThreadHandle`."""
+
+    fn: Callable[..., Any]
+    args: tuple
+    name: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Join(Request):
+    """Block until the target thread exits."""
+
+    handle: "ThreadHandle"
+
+
+@dataclass(frozen=True, slots=True)
+class YieldCore(Request):
+    """Release the core and requeue at the back of the ready queue.
+
+    Only meaningful under core-limited scheduling; a no-op (zero-time)
+    otherwise.
+    """

@@ -1,0 +1,83 @@
+"""Trace collection from the simulator.
+
+The simulator emits exactly the event stream the paper's instrumentation
+module records at its ``MAGIC()`` points (Fig. 4): acquire / obtain (with
+the contended flag the trylock-first protocol would detect) / release,
+barrier arrive/depart, condition block/wake/signal, and the thread
+lifecycle events.  The collector buffers rows in columnar Python lists and
+packs them into the numpy record block once at the end of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.trace.events import NO_OBJECT, EventType, ObjectKind
+from repro.trace.schema import EVENT_DTYPE
+from repro.trace.trace import ObjectInfo, Trace
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector:
+    """Accumulates synchronization events during a simulation run."""
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._times: list[float] = []
+        self._tids: list[int] = []
+        self._etypes: list[int] = []
+        self._objs: list[int] = []
+        self._args: list[int] = []
+        self._objects: dict[int, ObjectInfo] = {}
+        self._threads: dict[int, str] = {}
+        self._next_obj = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register_object(self, kind: ObjectKind, name: str) -> int:
+        """Assign a trace id to a new synchronization object."""
+        obj = self._next_obj
+        self._next_obj += 1
+        self._objects[obj] = ObjectInfo(obj=obj, kind=kind, name=name)
+        return obj
+
+    def register_thread(self, tid: int, name: str) -> None:
+        self._threads[tid] = name
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(
+        self, time: float, tid: int, etype: EventType, obj: int = NO_OBJECT, arg: int = 0
+    ) -> None:
+        """Record one event; calls must come in causal (time-ordered) order."""
+        self._seq += 1
+        self._times.append(time)
+        self._tids.append(tid)
+        self._etypes.append(int(etype))
+        self._objs.append(obj)
+        self._args.append(arg)
+
+    def __len__(self) -> int:
+        return self._seq
+
+    # -- finalization -------------------------------------------------------------
+
+    def build(self, meta: dict[str, Any] | None = None) -> Trace:
+        """Pack the buffered events into an immutable :class:`Trace`."""
+        n = len(self._times)
+        records = np.empty(n, dtype=EVENT_DTYPE)
+        records["seq"] = np.arange(n, dtype=np.uint64)
+        records["time"] = self._times
+        records["tid"] = self._tids
+        records["etype"] = self._etypes
+        records["obj"] = self._objs
+        records["arg"] = self._args
+        return Trace(
+            records=records,
+            objects=dict(self._objects),
+            threads=dict(self._threads),
+            meta=dict(meta or {}),
+        )

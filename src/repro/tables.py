@@ -1,0 +1,43 @@
+"""Minimal ASCII table rendering shared by reports and experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_right: Sequence[bool] | None = None,
+) -> str:
+    """Render rows as a column-aligned text table.
+
+    ``align_right`` flags per column; by default the first column is
+    left-aligned (names) and the rest right-aligned (numbers).
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    if align_right is None:
+        align_right = [False] + [True] * (ncols - 1)
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, c in enumerate(row):
+            parts.append(c.rjust(widths[i]) if align_right[i] else c.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (ncols - 1))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Trace substrate: event records, containers, file formats and validation.
+
+This package is the equivalent of the paper's trace file (Fig. 3): the
+instrumentation module (real threads, :mod:`repro.instrument`) and the
+simulator (:mod:`repro.sim`) both emit the event stream defined here, and
+the analysis module (:mod:`repro.core`) consumes it.
+"""
+
+from repro.trace.events import Event, EventType, ObjectKind
+from repro.trace.trace import ObjectInfo, Trace
+from repro.trace.builder import TraceBuilder
+from repro.trace.merge import merge_traces
+from repro.trace.reader import read_trace
+from repro.trace.stats import TraceStats, compute_trace_stats
+from repro.trace.transform import filter_threads, slice_time
+from repro.trace.writer import write_trace
+from repro.trace.validate import validate_trace
+
+__all__ = [
+    "Event",
+    "EventType",
+    "ObjectKind",
+    "ObjectInfo",
+    "Trace",
+    "TraceBuilder",
+    "read_trace",
+    "merge_traces",
+    "slice_time",
+    "filter_threads",
+    "TraceStats",
+    "compute_trace_stats",
+    "write_trace",
+    "validate_trace",
+]

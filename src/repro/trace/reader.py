@@ -1,0 +1,104 @@
+"""Trace deserialization (see :mod:`repro.trace.writer` for the formats)."""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.trace.events import Event, EventType
+from repro.trace.schema import EVENT_DTYPE
+from repro.trace.trace import Trace
+from repro.trace.writer import MAGIC, objects_from_header
+
+__all__ = ["read_trace"]
+
+_LEN_FMT = "<Q"
+_LEN_SIZE = struct.calcsize(_LEN_FMT)
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Load a trace written by :func:`repro.trace.write_trace`.
+
+    The format is sniffed from the file contents, not the suffix, so
+    renamed files still load.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        head = fh.read(len(MAGIC))
+    if head == MAGIC:
+        return _read_binary(path)
+    return _read_jsonl(path)
+
+
+def _read_binary(path: Path) -> Trace:
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        raw_len = fh.read(_LEN_SIZE)
+        if len(raw_len) != _LEN_SIZE:
+            raise TraceFormatError(f"{path}: truncated header length")
+        (header_len,) = struct.unpack(_LEN_FMT, raw_len)
+        raw_header = fh.read(header_len)
+        if len(raw_header) != header_len:
+            raise TraceFormatError(f"{path}: truncated header")
+        try:
+            header = json.loads(raw_header)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}: corrupt header: {exc}") from exc
+        body = fh.read()
+    nevents = int(header.get("nevents", 0))
+    expected = nevents * EVENT_DTYPE.itemsize
+    if len(body) != expected:
+        raise TraceFormatError(
+            f"{path}: expected {expected} bytes of records for {nevents} events, got {len(body)}"
+        )
+    records = np.frombuffer(body, dtype=EVENT_DTYPE).copy()
+    return Trace(
+        records=records,
+        objects=objects_from_header(header),
+        threads={int(t): name for t, name in header.get("threads", {}).items()},
+        meta=header.get("meta", {}),
+    )
+
+
+def _read_jsonl(path: Path) -> Trace:
+    events: list[Event] = []
+    header = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if "header" in obj:
+                header = obj["header"]
+                continue
+            try:
+                events.append(
+                    Event(
+                        seq=int(obj["seq"]),
+                        time=float(obj["time"]),
+                        tid=int(obj["tid"]),
+                        etype=EventType[obj["etype"]],
+                        obj=int(obj.get("obj", -1)),
+                        arg=int(obj.get("arg", 0)),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{lineno}: bad event record: {exc}") from exc
+    if header is None:
+        raise TraceFormatError(f"{path}: missing JSONL header line")
+    return Trace.from_events(
+        events,
+        objects=objects_from_header(header),
+        threads={int(t): name for t, name in header.get("threads", {}).items()},
+        meta=header.get("meta", {}),
+    )

@@ -1,0 +1,199 @@
+"""Trace transformations: time slicing and thread filtering.
+
+Long traces are unwieldy; these utilities cut analyzable sub-traces:
+
+* :func:`slice_time` keeps the events of a time window and *repairs the
+  boundary*: synthetic THREAD_START/THREAD_EXIT bracket each thread's
+  surviving events, critical sections open at the left edge get a
+  synthetic ACQUIRE/OBTAIN at the window start, and sections still open
+  at the right edge get a synthetic RELEASE at the window end — so the
+  slice passes validation and the analyzer runs unchanged.
+* :func:`filter_threads` keeps a thread subset (plus repairs), for
+  zooming into one worker pool of a larger system.
+
+Boundary repair keeps per-thread state consistent; cross-thread
+dependencies whose waker fell outside the window degrade gracefully
+(the wait collapses because its OBTAIN becomes uncontended).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.errors import TraceError
+from repro.trace.events import Event, EventType, ObjectKind
+from repro.trace.trace import Trace
+
+__all__ = ["slice_time", "filter_threads"]
+
+
+def slice_time(trace: Trace, start: float, end: float) -> Trace:
+    """Extract the [start, end] window as a standalone valid trace."""
+    if end <= start:
+        raise TraceError(f"empty slice window [{start}, {end}]")
+    kept: list[Event] = [ev for ev in trace if start <= ev.time <= end]
+    return _repair(trace, kept, start, end, trace.thread_ids)
+
+
+def filter_threads(trace: Trace, tids: Iterable[int]) -> Trace:
+    """Keep only the given threads' events (boundary-repaired)."""
+    wanted = set(tids)
+    unknown = wanted - set(trace.thread_ids)
+    if unknown:
+        raise TraceError(f"unknown thread ids: {sorted(unknown)}")
+    kept = [ev for ev in trace if ev.tid in wanted]
+    return _repair(trace, kept, trace.start_time, trace.end_time, sorted(wanted))
+
+
+def _repair(
+    trace: Trace,
+    kept: list[Event],
+    start: float,
+    end: float,
+    tids: Iterable[int],
+) -> Trace:
+    """Make a kept-event list structurally valid (see module docstring)."""
+    events: list[Event] = []
+    per_thread: dict[int, list[Event]] = defaultdict(list)
+    for ev in kept:
+        per_thread[ev.tid].append(ev)
+
+    lock_ids = {
+        info.obj
+        for info in trace.objects.values()
+        if info.kind in (ObjectKind.MUTEX, ObjectKind.SEMAPHORE, ObjectKind.RWLOCK)
+    }
+    barrier_cohorts: dict[tuple[int, int], int] = defaultdict(int)
+
+    # Synthetic-event ordering: leading synths (THREAD_START, pre-window
+    # acquisitions) must sort before every real event at the same time,
+    # trailing synths (closing RELEASEs, THREAD_EXIT) after — real events
+    # keep their original seq, so leading seqs are negative and trailing
+    # seqs start past the trace's maximum.
+    lead_seq = [-1_000_000_000]
+    tail_seq = [int(trace.records["seq"][-1]) + 1 if len(trace) else 1]
+
+    for tid in tids:
+        evs = per_thread.get(tid, [])
+        out: list[Event] = []
+        held: list[tuple[int, int]] = []  # (obj, mode) stack
+        # obj -> (rwlock mode, the ACQUIRE event itself); keeping the event
+        # lets the dangling filter below remove exactly that instance.
+        pending_acquire: dict[int, tuple[int, Event]] = {}
+        # The thread exists for the window portion of its original life.
+        o_start, o_end = trace.thread_span(tid)
+        t_first = max(start, o_start)
+        t_end = min(end, o_end)
+
+        def synth(time, etype, obj=-1, arg=0, trailing=False):
+            if trailing:
+                tail_seq[0] += 1
+                seq = tail_seq[0]
+            else:
+                lead_seq[0] += 1
+                seq = lead_seq[0]
+            out.append(Event(seq=seq, time=time, tid=tid, etype=etype, obj=obj, arg=arg))
+
+        synth(t_first, EventType.THREAD_START)
+        for ev in evs:
+            et = ev.etype
+            if et in (EventType.THREAD_START, EventType.THREAD_EXIT,
+                      EventType.THREAD_CREATE, EventType.JOIN_BEGIN,
+                      EventType.JOIN_END):
+                # Lifecycle is resynthesized; joins/creates reference
+                # threads that may be outside the slice: drop them.
+                continue
+            if ev.obj in lock_ids:
+                if et == EventType.ACQUIRE:
+                    pending_acquire[ev.obj] = (ev.arg, ev)
+                    out.append(ev)
+                    continue
+                if et == EventType.OBTAIN:
+                    if ev.obj in pending_acquire:
+                        mode, _ = pending_acquire.pop(ev.obj)
+                    else:
+                        # The ACQUIRE fell before the window: synthesize it
+                        # (leading), keeping the original OBTAIN so it stays
+                        # ordered after the previous holder's RELEASE.
+                        mode = 0
+                        synth(ev.time, EventType.ACQUIRE, obj=ev.obj)
+                    out.append(ev)
+                    held.append((ev.obj, mode))
+                    continue
+                if et == EventType.RELEASE:
+                    match = next(
+                        (i for i in range(len(held) - 1, -1, -1)
+                         if held[i][0] == ev.obj),
+                        None,
+                    )
+                    if match is None:
+                        # Hold opened before the window: synthesize the
+                        # acquisition at the window start.
+                        synth(t_first, EventType.ACQUIRE, obj=ev.obj, arg=ev.arg)
+                        synth(t_first, EventType.OBTAIN, obj=ev.obj)
+                        # Re-sort later puts these first (same time as start).
+                    else:
+                        held.pop(match)
+                    out.append(ev)
+                    continue
+            if et in (EventType.BARRIER_ARRIVE, EventType.BARRIER_DEPART):
+                barrier_cohorts[(ev.obj, ev.arg)] += 1
+                out.append(ev)
+                continue
+            out.append(ev)
+        # Close still-open holds and dangling acquires at the window end.
+        t_last = max(t_end, max((e.time for e in out), default=t_end))
+        for obj, mode in reversed(held):
+            synth(t_last, EventType.RELEASE, obj=obj, arg=mode, trailing=True)
+        # Dangling ACQUIREs (their OBTAIN fell past the window) are noise —
+        # remove exactly those instances, not every ACQUIRE on the object.
+        dangling = {id(acq_ev) for _, acq_ev in pending_acquire.values()}
+        out = [e for e in out if id(e) not in dangling]
+        synth(t_last, EventType.THREAD_EXIT, trailing=True)
+        events.extend(out)
+
+    # Drop barrier events whose cohort was cut in half (unmatched
+    # arrivals/departures fail validation and carry no usable dependency).
+    counts: dict[tuple[int, int, int], int] = defaultdict(int)  # (obj,gen,etype)
+    for ev in events:
+        if ev.etype in (EventType.BARRIER_ARRIVE, EventType.BARRIER_DEPART):
+            counts[(ev.obj, ev.arg, int(ev.etype))] += 1
+    events = [
+        ev
+        for ev in events
+        if ev.etype not in (EventType.BARRIER_ARRIVE, EventType.BARRIER_DEPART)
+        or counts[(ev.obj, ev.arg, int(EventType.BARRIER_ARRIVE))]
+        == counts[(ev.obj, ev.arg, int(EventType.BARRIER_DEPART))]
+    ]
+    # Cond events: drop wakes whose block was cut (and vice versa).
+    cond_ok: dict[tuple[int, int], int] = defaultdict(int)
+    for ev in events:
+        if ev.etype == EventType.COND_BLOCK:
+            cond_ok[(ev.obj, ev.tid)] += 1
+    events = [
+        ev
+        for ev in events
+        if ev.etype != EventType.COND_WAKE or cond_ok[(ev.obj, ev.tid)] > 0
+    ]
+
+    # A contended OBTAIN whose releasing predecessor fell outside the
+    # window has no resolvable waker: demote it to uncontended (the wait
+    # context is gone along with the waker).
+    events.sort(key=lambda ev: (ev.time, ev.seq))
+    released: set[int] = set()
+    for i, ev in enumerate(events):
+        if ev.etype == EventType.RELEASE:
+            released.add(ev.obj)
+        elif ev.etype == EventType.OBTAIN and ev.arg and ev.obj not in released:
+            events[i] = Event(
+                seq=ev.seq, time=ev.time, tid=ev.tid,
+                etype=EventType.OBTAIN, obj=ev.obj, arg=0,
+            )
+
+    meta = dict(trace.meta)
+    meta["sliced_from"] = [trace.start_time, trace.end_time]
+    meta["slice_window"] = [start, end]
+    return Trace.from_events(
+        events, objects=trace.objects, threads=trace.threads, meta=meta
+    )

@@ -1,0 +1,90 @@
+"""Trace serialization.
+
+Two formats are supported:
+
+``.clt`` (binary, default)
+    ``CLTRACE1`` magic, an 8-byte little-endian header length, a JSON
+    header (objects, thread names, metadata) and the raw numpy record
+    block.  Compact and fast — the analog of the paper's flushed-on-exit
+    binary trace file.
+
+``.jsonl``
+    A self-describing line-oriented format: one JSON header line followed
+    by one JSON object per event.  Slow but diff-able and greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Any
+
+from repro.trace.events import EventType
+from repro.trace.trace import ObjectInfo, Trace
+
+__all__ = ["MAGIC", "write_trace", "header_dict"]
+
+MAGIC = b"CLTRACE1"
+_LEN_FMT = "<Q"
+
+
+def header_dict(trace: Trace) -> dict[str, Any]:
+    """JSON-serializable header describing a trace's metadata."""
+    return {
+        "objects": {
+            str(obj): {"kind": int(info.kind), "name": info.name}
+            for obj, info in trace.objects.items()
+        },
+        "threads": {str(tid): name for tid, name in trace.threads.items()},
+        "meta": trace.meta,
+        "nevents": len(trace),
+    }
+
+
+def write_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to ``path``; format chosen by suffix (.clt or .jsonl)."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        _write_jsonl(trace, path)
+    else:
+        _write_binary(trace, path)
+    return path
+
+
+def _write_binary(trace: Trace, path: Path) -> None:
+    header = json.dumps(header_dict(trace)).encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack(_LEN_FMT, len(header)))
+        fh.write(header)
+        fh.write(trace.records.tobytes())
+
+
+def _write_jsonl(trace: Trace, path: Path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"header": header_dict(trace)}) + "\n")
+        for ev in trace:
+            fh.write(
+                json.dumps(
+                    {
+                        "seq": ev.seq,
+                        "time": ev.time,
+                        "tid": ev.tid,
+                        "etype": EventType(ev.etype).name,
+                        "obj": ev.obj,
+                        "arg": ev.arg,
+                    }
+                )
+                + "\n"
+            )
+
+
+def objects_from_header(raw: dict[str, Any]) -> dict[int, ObjectInfo]:
+    """Rebuild the object table from a parsed JSON header."""
+    from repro.trace.events import ObjectKind
+
+    return {
+        int(obj): ObjectInfo(obj=int(obj), kind=ObjectKind(entry["kind"]), name=entry["name"])
+        for obj, entry in raw.get("objects", {}).items()
+    }

@@ -1,0 +1,58 @@
+"""Virtual-time units and formatting helpers.
+
+The simulator runs in dimensionless virtual time; the real-thread
+instrumentation layer records wall-clock nanoseconds.  Both are stored as
+``float`` seconds-equivalents in trace records, so the analysis module is
+unit-agnostic.  These helpers keep conversions and human formatting in one
+place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS_PER_SEC",
+    "US_PER_SEC",
+    "MS_PER_SEC",
+    "ns_to_time",
+    "time_to_ns",
+    "format_duration",
+    "format_percent",
+]
+
+NS_PER_SEC = 1_000_000_000
+US_PER_SEC = 1_000_000
+MS_PER_SEC = 1_000
+
+
+def ns_to_time(ns: int) -> float:
+    """Convert integer nanoseconds (instrumentation clock) to trace time."""
+    return ns / NS_PER_SEC
+
+
+def time_to_ns(t: float) -> int:
+    """Convert trace time back to integer nanoseconds (rounded)."""
+    return round(t * NS_PER_SEC)
+
+
+def format_duration(t: float) -> str:
+    """Render a duration with an adaptive unit, e.g. ``1.25ms``.
+
+    Virtual-time traces typically have O(1) durations, which render as
+    seconds; real traces render in the ns..s range.
+    """
+    if t < 0:
+        return "-" + format_duration(-t)
+    if t == 0:
+        return "0"
+    if t < 1e-6:
+        return f"{t * NS_PER_SEC:.0f}ns"
+    if t < 1e-3:
+        return f"{t * US_PER_SEC:.2f}us"
+    if t < 1.0:
+        return f"{t * MS_PER_SEC:.2f}ms"
+    return f"{t:.3f}s"
+
+
+def format_percent(fraction: float, digits: int = 2) -> str:
+    """Render a 0..1 fraction as a percentage string, e.g. ``39.15%``."""
+    return f"{fraction * 100:.{digits}f}%"

@@ -1,0 +1,6 @@
+"""Text visualizations: timelines, lock profiles, criticality heat rows."""
+
+from repro.viz.profile import render_lock_profile
+from repro.viz.timeline import render_timeline
+
+__all__ = ["render_timeline", "render_lock_profile"]

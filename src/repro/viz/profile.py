@@ -1,0 +1,46 @@
+"""ASCII lock-profile charts: CP Time vs Wait Time side by side.
+
+The textual equivalent of the paper's Figs. 8/9 bar charts: for each
+lock, two horizontal bars — the TYPE 1 CP share and the TYPE 2 wait
+share — so the disagreement between the metrics is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import AnalysisReport
+from repro.units import format_percent
+
+__all__ = ["render_lock_profile"]
+
+
+def render_lock_profile(
+    report: AnalysisReport, n: int = 8, width: int = 40
+) -> str:
+    """Render the top-``n`` locks (by CP Time) as paired text bars."""
+    locks = [m for m in report.top_locks(n) if m.total_invocations > 0]
+    if not locks:
+        return "(no lock activity)"
+    name_w = max(len(m.name) for m in locks)
+    scale = max(
+        max(m.cp_fraction for m in locks),
+        max(m.avg_wait_fraction for m in locks),
+        1e-12,
+    )
+    lines = [
+        f"lock criticality profile (bar scale: {format_percent(scale)} = {width} chars)"
+    ]
+    for m in locks:
+        cp_bar = "#" * max(1 if m.cp_fraction > 0 else 0,
+                           round(m.cp_fraction / scale * width))
+        wait_bar = "." * max(1 if m.avg_wait_fraction > 0 else 0,
+                             round(m.avg_wait_fraction / scale * width))
+        lines.append(
+            f"{m.name.rjust(name_w)}  CP   |{cp_bar.ljust(width)}| "
+            f"{format_percent(m.cp_fraction)}"
+        )
+        lines.append(
+            f"{' ' * name_w}  wait |{wait_bar.ljust(width)}| "
+            f"{format_percent(m.avg_wait_fraction)}"
+        )
+    lines.append("(# = CP Time, TYPE 1;  . = Wait Time, TYPE 2)")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Workload models of the paper's applications (§V, Table 1).
+
+Each workload reproduces the *synchronization skeleton* of one
+application from the paper's case study, running on the deterministic
+simulator: the same lock population, the same sharing structure and the
+same contention growth with thread count — which is all the analysis
+observes.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.workloads.base import Workload, available_workloads, get_workload, register
+from repro.workloads.micro import MicroBenchmark
+from repro.workloads.pipeline import Pipeline
+from repro.workloads.radiosity import Radiosity
+from repro.workloads.tsp import TSP
+from repro.workloads.uts import UTS
+from repro.workloads.water import WaterNSquared
+from repro.workloads.volrend import Volrend
+from repro.workloads.raytrace import Raytrace
+from repro.workloads.ldapserver import LDAPServer
+from repro.workloads.synthetic import SyntheticLocks
+
+__all__ = [
+    "Workload",
+    "available_workloads",
+    "get_workload",
+    "register",
+    "MicroBenchmark",
+    "Pipeline",
+    "Radiosity",
+    "TSP",
+    "UTS",
+    "WaterNSquared",
+    "Volrend",
+    "Raytrace",
+    "LDAPServer",
+    "SyntheticLocks",
+]

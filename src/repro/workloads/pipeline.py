@@ -1,0 +1,108 @@
+"""Software pipeline workload: channel-connected stages.
+
+A three-stage pipeline (decode -> transform -> encode) connected by
+bounded channels; thread counts per stage are configurable.  This is the
+condition-variable-heavy workload class (thread pools, streaming
+servers) complementing the lock/barrier-heavy SPLASH set: the analysis
+must trace the critical path through cond_wait wake-ups and channel
+mutexes, and the slowest stage's channel lock becomes the critical lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.channels import CLOSED, Channel
+from repro.sim.program import Program
+from repro.workloads.base import Workload, register
+
+__all__ = ["Pipeline"]
+
+
+@dataclass
+class _State:
+    stage1: Channel
+    stage2: Channel
+    done: int = 0
+
+
+@register
+class Pipeline(Workload):
+    """Three-stage channel pipeline; nthreads is split across stages."""
+
+    name = "pipeline"
+
+    def __init__(
+        self,
+        items: int = 120,
+        capacity: int = 8,
+        decode_cost: float = 0.05,
+        transform_cost: float = 0.15,
+        encode_cost: float = 0.05,
+        channel_op_cost: float = 0.004,
+    ):
+        self.items = items
+        self.capacity = capacity
+        self.decode_cost = decode_cost
+        self.transform_cost = transform_cost
+        self.encode_cost = encode_cost
+        self.channel_op_cost = channel_op_cost
+
+    def stage_split(self, nthreads: int) -> tuple[int, int, int]:
+        """Split the thread budget across decode/transform/encode.
+
+        The transform stage is the heaviest, so it gets the remainder.
+        """
+        decode = max(1, nthreads // 4)
+        encode = max(1, nthreads // 4)
+        transform = max(1, nthreads - decode - encode)
+        return decode, transform, encode
+
+    def build(self, prog: Program, nthreads: int) -> None:
+        state = _State(
+            stage1=Channel(prog, self.capacity, "stage1", self.channel_op_cost),
+            stage2=Channel(prog, self.capacity, "stage2", self.channel_op_cost),
+        )
+        n_dec, n_tr, n_enc = self.stage_split(nthreads)
+        per_decoder = [
+            self.items // n_dec + (1 if i < self.items % n_dec else 0)
+            for i in range(n_dec)
+        ]
+        counters = {"decoders": n_dec, "transformers": n_tr}
+
+        def decoder(env, i):
+            rng = env.rng
+            for _ in range(per_decoder[i]):
+                yield env.compute(float(rng.exponential(self.decode_cost)))
+                yield from state.stage1.put(env, 1)
+            counters["decoders"] -= 1
+            if counters["decoders"] == 0:
+                yield from state.stage1.close(env)
+
+        def transformer(env, i):
+            rng = env.rng
+            while True:
+                item = yield from state.stage1.get(env)
+                if item is CLOSED:
+                    break
+                yield env.compute(float(rng.exponential(self.transform_cost)))
+                yield from state.stage2.put(env, item)
+            counters["transformers"] -= 1
+            if counters["transformers"] == 0:
+                yield from state.stage2.close(env)
+
+        def encoder(env, i):
+            rng = env.rng
+            while True:
+                item = yield from state.stage2.get(env)
+                if item is CLOSED:
+                    break
+                yield env.compute(float(rng.exponential(self.encode_cost)))
+                state.done += 1
+
+        for i in range(n_dec):
+            prog.spawn(decoder, i, name=f"decode-{i}")
+        for i in range(n_tr):
+            prog.spawn(transformer, i, name=f"transform-{i}")
+        for i in range(n_enc):
+            prog.spawn(encoder, i, name=f"encode-{i}")

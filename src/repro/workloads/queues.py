@@ -1,0 +1,121 @@
+"""Concurrent queues on the simulator.
+
+Two implementations with identical interfaces:
+
+:class:`SingleLockQueue`
+    One lock guards both ends — the structure Radiosity's ``tq[i].qlock``
+    and TSP's ``Qlock`` protect in the paper.
+
+:class:`TwoLockQueue`
+    The Michael & Scott two-lock concurrent queue the paper uses for its
+    optimization case study (§V.D.3): the enqueue holds only the tail
+    lock and the dequeue only the head lock, so producers and consumers
+    proceed in parallel.
+
+Queue methods are sub-generators: call them with ``yield from`` inside a
+thread body.  ``op_cost`` models the time spent manipulating the queue
+inside the critical section (pointer updates, allocation), the paper's
+"size of the critical section".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.sim.program import Program
+from repro.sim import syscalls as sc
+
+__all__ = ["SingleLockQueue", "TwoLockQueue", "make_queue"]
+
+
+class SingleLockQueue:
+    """FIFO queue guarded by a single lock (coarse-grained)."""
+
+    uses_two_locks = False
+
+    def __init__(self, prog: Program, name: str, op_cost: float):
+        self.name = name
+        self.op_cost = op_cost
+        self.qlock = prog.mutex(f"{name}.qlock")
+        self._items: deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, env, item: Any) -> Generator[sc.Request, Any, None]:
+        """Enqueue ``item`` at the tail (holds the queue lock)."""
+        yield env.acquire(self.qlock)
+        yield env.compute(self.op_cost)
+        self._items.append(item)
+        yield env.release(self.qlock)
+
+    def put_many(self, env, items: list) -> Generator[sc.Request, Any, None]:
+        """Enqueue a batch under one lock hold (cost scales with the batch)."""
+        if not items:
+            return
+        yield env.acquire(self.qlock)
+        yield env.compute(self.op_cost * len(items))
+        self._items.extend(items)
+        yield env.release(self.qlock)
+
+    def get(self, env) -> Generator[sc.Request, Any, Any]:
+        """Dequeue from the head; returns ``None`` when empty."""
+        yield env.acquire(self.qlock)
+        yield env.compute(self.op_cost)
+        item = self._items.popleft() if self._items else None
+        yield env.release(self.qlock)
+        return item
+
+
+class TwoLockQueue:
+    """Michael & Scott two-lock queue: separate head and tail locks.
+
+    As in the original algorithm, a dummy-node design lets the two ends
+    be mutated independently; here the internal deque stands in for the
+    linked list and the simulation only models the lock hold times.
+    """
+
+    uses_two_locks = True
+
+    def __init__(self, prog: Program, name: str, op_cost: float):
+        self.name = name
+        self.op_cost = op_cost
+        self.head_lock = prog.mutex(f"{name}.q_head_lock")
+        self.tail_lock = prog.mutex(f"{name}.q_tail_lock")
+        self._items: deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, env, item: Any) -> Generator[sc.Request, Any, None]:
+        """Enqueue at the tail (holds only the tail lock)."""
+        yield env.acquire(self.tail_lock)
+        yield env.compute(self.op_cost)
+        self._items.append(item)
+        yield env.release(self.tail_lock)
+
+    def put_many(self, env, items: list) -> Generator[sc.Request, Any, None]:
+        """Enqueue a batch under one tail-lock hold."""
+        if not items:
+            return
+        yield env.acquire(self.tail_lock)
+        yield env.compute(self.op_cost * len(items))
+        self._items.extend(items)
+        yield env.release(self.tail_lock)
+
+    def get(self, env) -> Generator[sc.Request, Any, Any]:
+        """Dequeue from the head (holds only the head lock)."""
+        yield env.acquire(self.head_lock)
+        yield env.compute(self.op_cost)
+        item = self._items.popleft() if self._items else None
+        yield env.release(self.head_lock)
+        return item
+
+
+def make_queue(
+    prog: Program, name: str, op_cost: float, two_lock: bool
+) -> SingleLockQueue | TwoLockQueue:
+    """Factory selecting the queue implementation (the paper's optimization knob)."""
+    cls = TwoLockQueue if two_lock else SingleLockQueue
+    return cls(prog, name, op_cost)

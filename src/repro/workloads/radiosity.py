@@ -1,0 +1,220 @@
+"""Radiosity workload model (SPLASH-2 ``-batch -largeroom``).
+
+The paper's main case study (§V.D).  The synchronization skeleton of
+Radiosity's parallel phase:
+
+* one task queue per thread, each guarded by ``tq[i].qlock``; the master
+  seeds the initial visibility tasks into ``tq[0]``, and an idle thread
+  steals from ``tq[0]`` first (that is where work accumulates), so
+  ``tq[0].qlock`` contention grows with the thread count — the effect
+  behind paper Figs. 9 and 10;
+* every task allocates interaction records from a shared free list
+  guarded by ``freeInter`` — frequent, small critical sections;
+* an assortment of small locks for model/patch/element free lists and
+  global accumulators (Radiosity "uses 14 locks to protect different
+  shared data structures");
+* iterations end at the ``pbar`` barrier, whose bookkeeping counter is
+  protected by ``pbar_lock``.
+
+``two_lock_queues=True`` applies the paper's optimization (§V.D.3):
+every task queue becomes a Michael-Scott two-lock queue
+(``tq[i].q_head_lock`` / ``tq[i].q_tail_lock``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.sim.program import Program
+from repro.sim import syscalls as sc
+from repro.workloads.base import Workload, register
+from repro.workloads.queues import make_queue
+
+__all__ = ["Radiosity"]
+
+#: Small shared-structure locks beyond the queues (names from the paper /
+#: SPLASH-2 sources).
+_MISC_LOCKS = (
+    "freeInter",
+    "avg_radiosity_lock",
+    "cost_sum_lock",
+    "free_patch_lock",
+    "free_element_lock",
+    "free_elemvertex_lock",
+    "free_edge_lock",
+    "model_lock",
+    "index_lock",
+    "global_rad_lock",
+    "check_lock",
+)
+
+
+@dataclass
+class _Task:
+    """A visibility/refinement task: compute cost and children to spawn."""
+
+    cost: float
+    children: int
+
+
+@dataclass
+class _State:
+    """Shared state of one Radiosity run."""
+
+    queues: list[Any]
+    locks: dict[str, Any]
+    pbar: Any
+    pbar_lock: Any
+    in_flight: int = 0
+    spawn_budget: int = 0
+
+
+@register
+class Radiosity(Workload):
+    """Task-queue-with-stealing skeleton of SPLASH-2 Radiosity."""
+
+    name = "radiosity"
+
+    def __init__(
+        self,
+        total_tasks: int = 640,
+        iterations: int = 3,
+        task_cost: float = 1.0,
+        q_op_cost: float = 0.048,
+        interactions_per_task: int = 4,
+        free_op_cost: float = 0.006,
+        misc_lock_prob: float = 0.15,
+        misc_op_cost: float = 0.008,
+        spawn_factor: float = 0.8,
+        child_to_master_prob: float = 0.5,
+        idle_backoff: float = 0.02,
+        two_lock_queues: bool = False,
+    ):
+        self.total_tasks = total_tasks
+        self.iterations = iterations
+        self.task_cost = task_cost
+        self.q_op_cost = q_op_cost
+        self.interactions_per_task = interactions_per_task
+        self.free_op_cost = free_op_cost
+        self.misc_lock_prob = misc_lock_prob
+        self.misc_op_cost = misc_op_cost
+        self.spawn_factor = spawn_factor
+        self.child_to_master_prob = child_to_master_prob
+        self.idle_backoff = idle_backoff
+        self.two_lock_queues = two_lock_queues
+
+    # -- construction ---------------------------------------------------------
+
+    def build(self, prog: Program, nthreads: int) -> None:
+        queues = [
+            make_queue(prog, f"tq[{i}]", self.q_op_cost, self.two_lock_queues)
+            for i in range(nthreads)
+        ]
+        locks = {name: prog.mutex(name) for name in _MISC_LOCKS}
+        state = _State(
+            queues=queues,
+            locks=locks,
+            pbar=prog.barrier(nthreads, "pbar"),
+            pbar_lock=prog.mutex("pbar_lock"),
+        )
+        prog.spawn_workers(nthreads, self._worker, state, nthreads)
+
+    # -- thread body -----------------------------------------------------------
+
+    def _seed_iteration(self, state: _State, nthreads: int, rng) -> None:
+        """Master pre-fills tq[0] (no lock traffic: happens at a barrier)."""
+        total = self.total_tasks
+        q0 = state.queues[0]
+        for _ in range(total):
+            cost = float(rng.exponential(self.task_cost))
+            q0._items.append(_Task(cost=cost, children=0))
+        state.in_flight = total
+        state.spawn_budget = int(total * self.spawn_factor)
+
+    def _worker(self, env, wid: int, state: _State, nthreads: int):
+        rng = env.rng
+        for _ in range(self.iterations):
+            if wid == 0:
+                self._seed_iteration(state, nthreads, rng)
+            # All threads wait for the seeded queue before working.
+            yield env.barrier_wait(state.pbar)
+            yield from self._process_until_drained(env, wid, state, nthreads)
+            # Iteration epilogue: barrier bookkeeping under pbar_lock,
+            # then the barrier itself (paper's pbar usage).
+            yield env.acquire(state.pbar_lock)
+            yield env.compute(self.misc_op_cost)
+            yield env.release(state.pbar_lock)
+            yield env.barrier_wait(state.pbar)
+
+    def _process_until_drained(
+        self, env, wid: int, state: _State, nthreads: int
+    ) -> Generator[sc.Request, Any, None]:
+        rng = env.rng
+        backoff = self.idle_backoff
+        while True:
+            task = yield from self._find_task(env, wid, state, nthreads)
+            if task is None:
+                if state.in_flight == 0:
+                    return
+                yield env.yield_core()  # sched_yield: let ready threads run
+                yield env.compute(backoff)
+                backoff = min(backoff * 2, self.task_cost)
+                continue
+            backoff = self.idle_backoff
+            yield from self._process_task(env, wid, state, task, rng, nthreads)
+
+    def _find_task(self, env, wid: int, state: _State, nthreads: int):
+        """Own queue first, then steal from tq[0], then scan the others."""
+        task = yield from state.queues[wid].get(env)
+        if task is not None:
+            return task
+        if wid != 0 and len(state.queues[0]) > 0:
+            task = yield from state.queues[0].get(env)
+            if task is not None:
+                return task
+        for offset in range(1, nthreads):
+            victim = (wid + offset) % nthreads
+            if victim == 0 or victim == wid:
+                continue
+            if len(state.queues[victim]) == 0:
+                continue  # peeking length is lock-free in SPLASH-2 too
+            task = yield from state.queues[victim].get(env)
+            if task is not None:
+                return task
+        return None
+
+    def _process_task(
+        self, env, wid: int, state: _State, task: _Task, rng, nthreads: int
+    ) -> Generator[sc.Request, Any, None]:
+        # Visibility computation interleaved with interaction allocation
+        # from the freeInter free list.
+        slices = max(1, self.interactions_per_task)
+        slice_cost = task.cost / slices
+        free_inter = state.locks["freeInter"]
+        for _ in range(slices):
+            yield env.compute(slice_cost)
+            yield env.acquire(free_inter)
+            yield env.compute(self.free_op_cost)
+            yield env.release(free_inter)
+        # Occasional updates of global accumulators / free lists.
+        if rng.random() < self.misc_lock_prob:
+            name = _MISC_LOCKS[1 + int(rng.integers(len(_MISC_LOCKS) - 1))]
+            lock = state.locks[name]
+            yield env.acquire(lock)
+            yield env.compute(self.misc_op_cost)
+            yield env.release(lock)
+        # Spawn refinement children while the budget lasts.
+        nchildren = 0
+        if state.spawn_budget > 0:
+            nchildren = int(rng.poisson(0.9))
+            nchildren = min(nchildren, state.spawn_budget)
+            state.spawn_budget -= nchildren
+        for _ in range(nchildren):
+            child = _Task(cost=float(rng.exponential(self.task_cost)), children=0)
+            state.in_flight += 1
+            if rng.random() < self.child_to_master_prob:
+                yield from state.queues[0].put(env, child)
+            else:
+                yield from state.queues[wid].put(env, child)
+        state.in_flight -= 1

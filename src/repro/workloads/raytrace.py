@@ -1,0 +1,119 @@
+"""Raytrace workload model (SPLASH-2, ``car`` scene, 256x256).
+
+Per-thread ray-job queues with stealing (``jobs[i]`` locks, SPLASH-2's
+``gm->workpool``) plus the global memory allocator lock ``mem``: tracing
+a ray bundle repeatedly allocates intersection/shading records from the
+shared arena, so ``mem`` is hit far more often than the job queues but
+each hold is short.
+
+Paper Fig. 8's point for Raytrace: the ``mem`` lock's wait time looks
+modest, yet its critical sections sit squarely on the critical path
+(CP Time ≫ Wait Time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.program import Program
+from repro.workloads.base import Workload, register
+from repro.workloads.queues import SingleLockQueue
+
+__all__ = ["Raytrace"]
+
+
+@dataclass
+class _State:
+    jobs: list[SingleLockQueue]
+    mem_lock: Any
+    ray_id_lock: Any
+    in_flight: int = 0
+
+
+@register
+class Raytrace(Workload):
+    """Ray-bundle tracer with a shared memory-arena lock."""
+
+    name = "raytrace"
+
+    def __init__(
+        self,
+        bundles_per_thread: int = 48,
+        bundle_cost: float = 0.9,
+        allocs_per_bundle: int = 6,
+        mem_op_cost: float = 0.006,
+        q_op_cost: float = 0.01,
+        ray_id_prob: float = 0.2,
+        ray_id_cost: float = 0.004,
+        idle_backoff: float = 0.02,
+    ):
+        self.bundles_per_thread = bundles_per_thread
+        self.bundle_cost = bundle_cost
+        self.allocs_per_bundle = allocs_per_bundle
+        self.mem_op_cost = mem_op_cost
+        self.q_op_cost = q_op_cost
+        self.ray_id_prob = ray_id_prob
+        self.ray_id_cost = ray_id_cost
+        self.idle_backoff = idle_backoff
+
+    def build(self, prog: Program, nthreads: int) -> None:
+        state = _State(
+            jobs=[
+                SingleLockQueue(prog, f"jobs[{i}]", self.q_op_cost)
+                for i in range(nthreads)
+            ],
+            mem_lock=prog.mutex("mem"),
+            ray_id_lock=prog.mutex("ray_id"),
+        )
+        # Static tile decomposition: every thread's pool starts full
+        # (SPLASH-2 raytrace pre-partitions the image into job grids).
+        for i in range(nthreads):
+            state.jobs[i]._items.extend(
+                ("bundle", i, k) for k in range(self.bundles_per_thread)
+            )
+        state.in_flight = nthreads * self.bundles_per_thread
+        prog.spawn_workers(nthreads, self._worker, state, nthreads)
+
+    def _worker(self, env, wid: int, state: _State, nthreads: int):
+        rng = env.rng
+        backoff = self.idle_backoff
+        while True:
+            job = yield from state.jobs[wid].get(env)
+            if job is None:
+                job = yield from self._steal(env, wid, state, nthreads)
+            if job is None:
+                if state.in_flight == 0:
+                    return
+                yield env.yield_core()  # sched_yield: let ready threads run
+                yield env.compute(backoff)
+                backoff = min(backoff * 2, 0.5)
+                continue
+            backoff = self.idle_backoff
+            yield from self._trace_bundle(env, state, rng)
+            state.in_flight -= 1
+
+    def _steal(self, env, wid: int, state: _State, nthreads: int):
+        for offset in range(1, nthreads):
+            victim = state.jobs[(wid + offset) % nthreads]
+            if len(victim) == 0:
+                continue
+            job = yield from victim.get(env)
+            if job is not None:
+                return job
+        return None
+
+    def _trace_bundle(self, env, state: _State, rng):
+        # Shade/trace interleaved with arena allocations under `mem`.
+        cost = self.bundle_cost * float(rng.lognormal(0.0, 0.5))
+        allocs = self.allocs_per_bundle
+        slice_cost = cost / max(1, allocs)
+        for _ in range(allocs):
+            yield env.compute(slice_cost)
+            yield env.acquire(state.mem_lock)
+            yield env.compute(self.mem_op_cost)
+            yield env.release(state.mem_lock)
+        if rng.random() < self.ray_id_prob:
+            yield env.acquire(state.ray_id_lock)
+            yield env.compute(self.ray_id_cost)
+            yield env.release(state.ray_id_lock)

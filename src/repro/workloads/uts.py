@@ -1,0 +1,155 @@
+"""Unbalanced Tree Search workload (UTS, input ``-T8 -c 2 ST3``).
+
+A real unbalanced-tree traversal inside the simulator: the tree shape is
+a deterministic function of node ids (a splitmix64 hash plays the role
+of UTS's SHA-1 node descriptors), so every run explores the identical
+tree regardless of interleaving.  The root is wide (UTS's large initial
+branching) and interior branching is slightly sub-critical, which makes
+subtree sizes wildly imbalanced — the program's whole point.
+
+Each thread owns a stack guarded by ``stackLock[i]``; idle threads steal
+from the other stacks.  Stack critical sections are tiny, so — as the
+paper observes in Fig. 8 — wait-time metrics claim the locks are
+harmless, while some ``stackLock[i]`` still sits on ~5% of the critical
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.program import Program
+from repro.workloads.base import Workload, register
+
+__all__ = ["UTS", "splitmix64"]
+
+_MASK = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """Deterministic 64-bit hash (node-id → pseudo-random stream)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+@dataclass
+class _Stack:
+    lock: Any
+    items: list
+
+
+@dataclass
+class _State:
+    stacks: list[_Stack]
+    in_flight: int = 0
+    nodes_done: int = 0
+
+
+@register
+class UTS(Workload):
+    """Work-stealing unbalanced tree search."""
+
+    name = "uts"
+
+    def __init__(
+        self,
+        root_children: int = 240,
+        branch_children: int = 3,
+        branch_prob: float = 0.31,
+        node_cost: float = 0.03,
+        stack_op_cost: float = 0.004,
+        tree_seed: int = 8,  # the paper's -T8
+        idle_backoff: float = 0.01,
+        max_nodes: int = 200_000,
+    ):
+        self.root_children = root_children
+        self.branch_children = branch_children
+        self.branch_prob = branch_prob
+        self.node_cost = node_cost
+        self.stack_op_cost = stack_op_cost
+        self.tree_seed = tree_seed
+        self.idle_backoff = idle_backoff
+        self.max_nodes = max_nodes
+
+    # -- tree shape --------------------------------------------------------
+
+    def children_of(self, node_id: int) -> int:
+        """Deterministic child count of a non-root node."""
+        u = splitmix64(node_id ^ (self.tree_seed * 0x9E3779B97F4A7C15)) / 2**64
+        return self.branch_children if u < self.branch_prob else 0
+
+    def child_id(self, node_id: int, k: int) -> int:
+        return splitmix64(node_id * 1_000_003 + k + 1) & _MASK
+
+    # -- construction ----------------------------------------------------------
+
+    def build(self, prog: Program, nthreads: int) -> None:
+        stacks = [
+            _Stack(lock=prog.mutex(f"stackLock[{i}]"), items=[])
+            for i in range(nthreads)
+        ]
+        state = _State(stacks=stacks)
+        # Root node expands immediately; its children seed stack 0.
+        root = splitmix64(self.tree_seed)
+        state.stacks[0].items.extend(
+            self.child_id(root, k) for k in range(self.root_children)
+        )
+        state.in_flight = self.root_children
+        prog.spawn_workers(nthreads, self._worker, state, nthreads)
+
+    # -- stack helpers (each op holds that stack's lock) --------------------------
+
+    def _pop(self, env, stack: _Stack):
+        yield env.acquire(stack.lock)
+        yield env.compute(self.stack_op_cost)
+        node = stack.items.pop() if stack.items else None
+        yield env.release(stack.lock)
+        return node
+
+    def _push_all(self, env, stack: _Stack, nodes: list):
+        if not nodes:
+            return
+        yield env.acquire(stack.lock)
+        yield env.compute(self.stack_op_cost * len(nodes))
+        stack.items.extend(nodes)
+        yield env.release(stack.lock)
+
+    # -- thread body ----------------------------------------------------------------
+
+    def _worker(self, env, wid: int, state: _State, nthreads: int):
+        backoff = self.idle_backoff
+        own = state.stacks[wid]
+        while True:
+            node = yield from self._pop(env, own)
+            if node is None:
+                node = yield from self._steal(env, wid, state, nthreads)
+            if node is None:
+                if state.in_flight == 0:
+                    return
+                yield env.yield_core()  # sched_yield: let ready threads run
+                yield env.compute(backoff)
+                backoff = min(backoff * 2, 0.5)
+                continue
+            backoff = self.idle_backoff
+            yield env.compute(self.node_cost)  # "evaluate" the node
+            nchildren = self.children_of(node)
+            if state.nodes_done + state.in_flight >= self.max_nodes:
+                nchildren = 0  # safety valve against runaway trees
+            children = [self.child_id(node, k) for k in range(nchildren)]
+            state.in_flight += len(children)
+            yield from self._push_all(env, own, children)
+            state.in_flight -= 1
+            state.nodes_done += 1
+
+    def _steal(self, env, wid: int, state: _State, nthreads: int):
+        for offset in range(1, nthreads):
+            victim = state.stacks[(wid + offset) % nthreads]
+            if not victim.items:
+                continue
+            node = yield from self._pop(env, victim)
+            if node is not None:
+                return node
+        return None

@@ -1,0 +1,99 @@
+"""Volrend workload model (SPLASH-2 volume rendering, ``head`` input).
+
+Frame-oriented tile rendering: each frame's tiles are claimed from a
+shared index counter guarded by ``QLock`` (a tiny critical section hit
+once per tile), rendered (ray compositing compute, highly variable per
+tile — that is the octree's unbalance), and completion is tallied under
+``CountLock``; frames end at a barrier.
+
+With many threads the tiny-but-universal ``QLock`` starts to appear on
+the critical path even though per-thread wait time stays low — the same
+"critical but not idle" pattern the paper highlights for UTS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.program import Program
+from repro.workloads.base import Workload, register
+
+__all__ = ["Volrend"]
+
+
+@dataclass
+class _State:
+    qlock: Any
+    count_lock: Any
+    image_lock: Any
+    barrier: Any
+    next_tile: int = 0
+    done_count: int = 0
+
+
+@register
+class Volrend(Workload):
+    """Tile-queue volume renderer skeleton."""
+
+    name = "volrend"
+
+    def __init__(
+        self,
+        tiles_per_frame: int = 320,
+        frames: int = 3,
+        tile_cost: float = 0.12,
+        tile_cost_spread: float = 1.0,
+        q_op_cost: float = 0.004,
+        count_cost: float = 0.003,
+        image_write_prob: float = 0.06,
+        image_cost: float = 0.005,
+    ):
+        self.tiles_per_frame = tiles_per_frame
+        self.frames = frames
+        self.tile_cost = tile_cost
+        self.tile_cost_spread = tile_cost_spread
+        self.q_op_cost = q_op_cost
+        self.count_cost = count_cost
+        self.image_write_prob = image_write_prob
+        self.image_cost = image_cost
+
+    def build(self, prog: Program, nthreads: int) -> None:
+        state = _State(
+            qlock=prog.mutex("QLock"),
+            count_lock=prog.mutex("CountLock"),
+            image_lock=prog.mutex("ImageLock"),
+            barrier=prog.barrier(nthreads, "SlaveBarrier"),
+        )
+        prog.spawn_workers(nthreads, self._worker, state)
+
+    def _worker(self, env, wid: int, state: _State):
+        rng = env.rng
+        for _ in range(self.frames):
+            if wid == 0:
+                state.next_tile = 0
+                state.done_count = 0
+            yield env.barrier_wait(state.barrier)
+            while True:
+                # Claim the next tile index under QLock.
+                yield env.acquire(state.qlock)
+                yield env.compute(self.q_op_cost)
+                tile = state.next_tile
+                state.next_tile += 1
+                yield env.release(state.qlock)
+                if tile >= self.tiles_per_frame:
+                    break
+                # Ray compositing: octree makes tile costs very uneven.
+                cost = self.tile_cost * float(
+                    rng.lognormal(0.0, self.tile_cost_spread)
+                )
+                yield env.compute(cost)
+                if rng.random() < self.image_write_prob:
+                    yield env.acquire(state.image_lock)
+                    yield env.compute(self.image_cost)
+                    yield env.release(state.image_lock)
+                yield env.acquire(state.count_lock)
+                yield env.compute(self.count_cost)
+                state.done_count += 1
+                yield env.release(state.count_lock)
+            yield env.barrier_wait(state.barrier)

@@ -1,0 +1,95 @@
+"""Water-nsquared workload model (SPLASH-2, 512 molecules).
+
+A barrier-phase molecular-dynamics skeleton: per timestep the threads
+compute intra/inter-molecular forces over their molecule chunk (O(N²/P)
+work with load-imbalance noise), touch per-molecule-bucket ``MolLock``
+entries when writing back forces of molecules owned by other threads,
+and fold kinetic/potential energies into globals under ``KinetiSumLock``
+/ ``IndexLock`` — all separated by the phase barrier.
+
+Critical sections are small and barrier waits dominate blocking, so —
+as paper Fig. 8 shows — no lock matters much here; the workload is the
+negative control for the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.program import Program
+from repro.workloads.base import Workload, register
+
+__all__ = ["WaterNSquared"]
+
+
+@dataclass
+class _State:
+    mol_locks: list[Any]
+    kineti_lock: Any
+    index_lock: Any
+    barrier: Any
+
+
+@register
+class WaterNSquared(Workload):
+    """Barrier-dominated N² molecular dynamics skeleton."""
+
+    name = "water-nsquared"
+
+    def __init__(
+        self,
+        nmol: int = 512,
+        timesteps: int = 3,
+        work_per_mol: float = 0.04,
+        imbalance: float = 0.12,
+        mol_buckets: int = 16,
+        mol_updates_per_step: int = 24,
+        mol_lock_cost: float = 0.003,
+        reduction_cost: float = 0.0015,
+    ):
+        self.nmol = nmol
+        self.timesteps = timesteps
+        self.work_per_mol = work_per_mol
+        self.imbalance = imbalance
+        self.mol_buckets = mol_buckets
+        self.mol_updates_per_step = mol_updates_per_step
+        self.mol_lock_cost = mol_lock_cost
+        self.reduction_cost = reduction_cost
+
+    def build(self, prog: Program, nthreads: int) -> None:
+        state = _State(
+            mol_locks=[prog.mutex(f"MolLock[{i}]") for i in range(self.mol_buckets)],
+            kineti_lock=prog.mutex("KinetiSumLock"),
+            index_lock=prog.mutex("IndexLock"),
+            barrier=prog.barrier(nthreads, "gl->start"),
+        )
+        prog.spawn_workers(nthreads, self._worker, state, nthreads)
+
+    def _worker(self, env, wid: int, state: _State, nthreads: int):
+        rng = env.rng
+        chunk = self.nmol / nthreads
+        for _ in range(self.timesteps):
+            # INTRAF: forces within own molecules.
+            noise = 1.0 + self.imbalance * (2.0 * rng.random() - 1.0)
+            yield env.compute(chunk * self.work_per_mol * noise)
+            yield env.barrier_wait(state.barrier)
+            # INTERF: pairwise forces; write-backs to foreign molecules
+            # go through the per-bucket molecule locks.
+            updates = self.mol_updates_per_step
+            slice_cost = chunk * self.work_per_mol * noise / max(1, updates)
+            for _ in range(updates):
+                yield env.compute(slice_cost)
+                bucket = int(rng.integers(self.mol_buckets))
+                yield env.acquire(state.mol_locks[bucket])
+                yield env.compute(self.mol_lock_cost)
+                yield env.release(state.mol_locks[bucket])
+            yield env.barrier_wait(state.barrier)
+            # KINETI/POTENG: global energy reductions.
+            yield env.acquire(state.kineti_lock)
+            yield env.compute(self.reduction_cost)
+            yield env.release(state.kineti_lock)
+            yield env.acquire(state.index_lock)
+            yield env.compute(self.reduction_cost)
+            yield env.release(state.index_lock)
+            yield env.barrier_wait(state.barrier)

@@ -1,0 +1,61 @@
+"""Shared fixtures: canonical traces used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Program
+from repro.trace import TraceBuilder
+
+
+def make_micro_program(nthreads: int = 4, cs1: float = 2.0, cs2: float = 2.5) -> Program:
+    """The paper's Fig. 5 micro-benchmark as a raw Program."""
+    prog = Program(name="micro", seed=1)
+    l1 = prog.mutex("L1")
+    l2 = prog.mutex("L2")
+
+    def worker(env, i):
+        yield env.acquire(l1)
+        yield env.compute(cs1)
+        yield env.release(l1)
+        yield env.acquire(l2)
+        yield env.compute(cs2)
+        yield env.release(l2)
+
+    prog.spawn_workers(nthreads, worker)
+    return prog
+
+
+@pytest.fixture
+def micro_result():
+    """SimResult of the 4-thread micro-benchmark (completion time 12.0)."""
+    return make_micro_program().run()
+
+
+@pytest.fixture
+def micro_trace(micro_result):
+    return micro_result.trace
+
+
+def build_two_thread_handoff():
+    """Hand-built trace: T0 holds L [1,4]; T1 blocks at 2, runs [4,6].
+
+    The critical path is T0 [0,4] then T1 [4,6]: length 6.
+    """
+    b = TraceBuilder()
+    lock = b.mutex("L")
+    t0 = b.thread("T0")
+    t1 = b.thread("T1")
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    t0.critical_section(lock, acquire=1.0, obtain=1.0, release=4.0)
+    t1.critical_section(lock, acquire=2.0, obtain=4.0, release=5.0)
+    t0.exit(at=4.0)
+    t1.exit(at=6.0)
+    return b.build(), lock
+
+
+@pytest.fixture
+def handoff_trace():
+    trace, _ = build_two_thread_handoff()
+    return trace

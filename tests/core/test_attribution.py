@@ -1,0 +1,58 @@
+"""Per-thread lock attribution."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.attribution import attribute_lock
+from repro.workloads import Radiosity
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro_analysis():
+    return analyze(make_micro_program().run().trace)
+
+
+def test_l2_spread_evenly(micro_analysis):
+    att = attribute_lock(micro_analysis, "L2")
+    assert len(att.shares) == 4
+    for s in att.shares:
+        assert s.invocations == 1
+        assert s.invocations_on_cp == 1
+        assert s.cp_hold_time == pytest.approx(2.5)
+    assert att.total_cp_hold == pytest.approx(10.0)
+    assert att.concentration() == pytest.approx(0.25)
+
+
+def test_l1_concentrated_on_worker0(micro_analysis):
+    att = attribute_lock(micro_analysis, "L1")
+    assert att.dominant_thread().thread_name == "worker-0"
+    assert att.concentration() == pytest.approx(1.0)  # only T0's hold on CP
+    on_cp = [s.invocations_on_cp for s in att.shares]
+    assert sorted(on_cp) == [0, 0, 0, 1]
+
+
+def test_sums_match_lock_metrics(micro_analysis):
+    for name in ("L1", "L2"):
+        att = attribute_lock(micro_analysis, name)
+        m = micro_analysis.report.lock(name)
+        assert att.total_cp_hold == pytest.approx(m.cp_hold_time)
+        assert sum(s.invocations_on_cp for s in att.shares) == m.invocations_on_cp
+        assert sum(s.invocations for s in att.shares) == m.total_invocations
+
+
+def test_radiosity_master_queue_spread():
+    analysis = analyze(Radiosity(total_tasks=80, iterations=1).run(nthreads=4, seed=1).trace)
+    att = attribute_lock(analysis, "tq[0].qlock")
+    # Every worker touches the master queue.
+    assert len(att.shares) == 4
+    assert att.total_cp_hold == pytest.approx(
+        analysis.report.lock("tq[0].qlock").cp_hold_time
+    )
+
+
+def test_render(micro_analysis):
+    text = attribute_lock(micro_analysis, "L2").render()
+    assert "Per-thread attribution" in text
+    assert "worker-3" in text

@@ -1,0 +1,53 @@
+"""Before/after analysis comparison."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.compare import compare_analyses
+from repro.workloads import MicroBenchmark, Radiosity
+
+
+@pytest.fixture(scope="module")
+def micro_comparison():
+    before = analyze(MicroBenchmark().run(nthreads=4, seed=0).trace)
+    after = analyze(MicroBenchmark(optimize="L2").run(nthreads=4, seed=0).trace)
+    return compare_analyses(before, after)
+
+
+def test_speedup(micro_comparison):
+    assert micro_comparison.speedup == pytest.approx(12.0 / 9.5)
+    assert micro_comparison.improvement == pytest.approx(12.0 / 9.5 - 1)
+
+
+def test_l2_share_drops(micro_comparison):
+    d = next(d for d in micro_comparison.deltas if d.name == "L2")
+    assert d.cp_fraction_delta < 0
+    assert d.present_before and d.present_after
+
+
+def test_top_movers_sorted(micro_comparison):
+    movers = micro_comparison.top_movers()
+    deltas = [abs(d.cp_fraction_delta) for d in movers]
+    assert deltas == sorted(deltas, reverse=True)
+
+
+def test_render(micro_comparison):
+    text = micro_comparison.render()
+    assert "end to end" in text
+    assert "L2" in text
+
+
+def test_lock_sets_can_differ():
+    """The Radiosity optimization replaces qlock with head/tail locks."""
+    before = analyze(Radiosity(total_tasks=60, iterations=1).run(nthreads=4, seed=1).trace)
+    after = analyze(
+        Radiosity(total_tasks=60, iterations=1, two_lock_queues=True)
+        .run(nthreads=4, seed=1)
+        .trace
+    )
+    cmp = compare_analyses(before, after)
+    qlock = next(d for d in cmp.deltas if d.name == "tq[0].qlock")
+    head = next(d for d in cmp.deltas if d.name == "tq[0].q_head_lock")
+    assert qlock.present_before and not qlock.present_after
+    assert not head.present_before and head.present_after
+    assert "-" in cmp.render()

@@ -1,0 +1,87 @@
+"""Eyerman-Eeckhout model: formula, fitting, validation vs simulator."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.eyerman import CriticalSectionModel, eyerman_speedup, fit_model
+from repro.errors import AnalysisError
+from repro.workloads import SyntheticLocks
+
+
+class TestFormula:
+    def test_amdahl_limits(self):
+        # No critical sections: perfect scaling.
+        assert eyerman_speedup(0.0, 0.0, 8) == pytest.approx(8.0)
+        # Fully serialized critical sections: no scaling at all.
+        assert eyerman_speedup(1.0, 1.0, 8) == pytest.approx(1.0)
+
+    def test_uncontended_critical_sections_scale(self):
+        # p_ctn = 0: critical sections parallelize like everything else.
+        assert eyerman_speedup(0.5, 0.0, 16) == pytest.approx(16.0)
+
+    def test_classic_amdahl_reduction(self):
+        # f_seq plays the standard Amdahl role.
+        assert eyerman_speedup(0.0, 0.0, 4, f_seq=0.5) == pytest.approx(1 / (0.5 / 4 + 0.5))
+
+    def test_monotone_in_n(self):
+        s = [eyerman_speedup(0.3, 0.5, n) for n in (1, 2, 4, 8, 16)]
+        assert s == sorted(s)
+        assert s[0] == pytest.approx(1.0)
+
+    def test_ceiling(self):
+        m = CriticalSectionModel(f_crit=0.25, p_ctn=0.8, nthreads=8)
+        assert m.speedup_ceiling() == pytest.approx(1 / 0.2)
+        assert m.speedup(10_000) == pytest.approx(m.speedup_ceiling(), rel=1e-2)
+
+    def test_uncontended_ceiling_unbounded(self):
+        m = CriticalSectionModel(f_crit=0.25, p_ctn=0.0, nthreads=8)
+        assert m.speedup_ceiling() == float("inf")
+        assert "unbounded" in str(m)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(f_crit=-0.1, p_ctn=0.5, n=4),
+            dict(f_crit=1.1, p_ctn=0.5, n=4),
+            dict(f_crit=0.5, p_ctn=2.0, n=4),
+            dict(f_crit=0.5, p_ctn=0.5, n=0),
+            dict(f_crit=0.5, p_ctn=0.5, n=4, f_seq=0.6),
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(AnalysisError):
+            eyerman_speedup(**kwargs)
+
+
+class TestFitting:
+    def test_fit_from_synthetic(self):
+        res = SyntheticLocks(ops_per_thread=60, cs_cost=0.1, noncrit_cost=0.3).run(
+            nthreads=8, seed=4
+        )
+        analysis = analyze(res.trace)
+        model = fit_model(analysis)
+        assert 0 < model.f_crit < 1
+        assert 0 <= model.p_ctn <= 1
+        assert model.nthreads == 8
+
+    def test_model_bounds_measured_scaling(self):
+        """The contended-CS ceiling must not be exceeded by real scaling."""
+        wl = SyntheticLocks(ops_per_thread=40, cs_cost=0.2, noncrit_cost=0.2,
+                            nlocks=1, zipf_skew=0.0)
+        t1 = wl.run(nthreads=1, seed=4).completion_time
+        t16 = wl.run(nthreads=16, seed=4).completion_time
+        measured = t1 / t16
+        model = fit_model(analyze(wl.run(nthreads=16, seed=4).trace))
+        # The dominant-lock serialization bound: measured scaling cannot
+        # beat the ceiling by more than fitting noise.
+        assert measured <= model.speedup_ceiling() * 1.25
+
+    def test_fit_no_locks(self):
+        from repro.sim import Program
+
+        prog = Program()
+        prog.spawn(lambda env: (yield env.compute(1.0)))
+        analysis = analyze(prog.run().trace)
+        model = fit_model(analysis)
+        assert model.f_crit == 0.0
+        assert model.p_ctn == 0.0

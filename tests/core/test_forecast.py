@@ -1,0 +1,100 @@
+"""Scalability forecasting: bounds, saturation points, validation."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.forecast import forecast
+from repro.errors import AnalysisError
+from repro.workloads import MicroBenchmark, Radiosity, SyntheticLocks
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro_forecast():
+    return forecast(analyze(make_micro_program().run().trace))
+
+
+def test_micro_bounds_exact(micro_forecast):
+    f = micro_forecast
+    # Total work: 4 threads x 4.5 each.
+    assert f.total_work == pytest.approx(18.0)
+    # L2's serialization bound: 4 x 2.5 = 10; L1: 8.
+    assert f.locks[0].name == "L2"
+    assert f.locks[0].serial_demand == pytest.approx(10.0)
+    assert f.locks[1].serial_demand == pytest.approx(8.0)
+
+
+def test_completion_bounds(micro_forecast):
+    f = micro_forecast
+    assert f.completion_time(1) == pytest.approx(18.0)
+    # At 4 threads the L2 bound (10) dominates work/4 = 4.5.
+    assert f.completion_time(4) == pytest.approx(10.0)
+    # The real 4-thread run takes 12.0: the forecast is a lower bound.
+    assert f.completion_time(4) <= 12.0
+
+
+def test_saturation_point(micro_forecast):
+    f = micro_forecast
+    l2 = f.locks[0]
+    # L2 saturates at W / demand = 18/10 = 1.8 threads.
+    assert l2.saturation_threads(f.total_work) == pytest.approx(1.8)
+    assert f.first_saturating_lock().name == "L2"
+    assert f.bottleneck_lock(4).name == "L2"
+    assert f.bottleneck_lock(1) is None  # work-bound at 1 thread
+
+
+def test_cp_share_forecast(micro_forecast):
+    # At saturation, L2's forecast CP share is demand/bound = 1.0.
+    assert micro_forecast.cp_share_forecast("L2", 8) == pytest.approx(1.0)
+    assert micro_forecast.cp_share_forecast("L1", 8) == pytest.approx(0.8)
+
+
+def test_forecast_from_low_thread_profile_predicts_high_thread_bottleneck():
+    """Profile radiosity at 4 threads; the forecast must name tq[0].qlock
+    as the first saturating lock — which the 24-thread run confirms."""
+    profile = analyze(Radiosity().run(nthreads=4, seed=0).trace)
+    f = forecast(profile)
+    assert f.first_saturating_lock().name == "tq[0].qlock"
+    measured = analyze(Radiosity().run(nthreads=24, seed=0).trace)
+    assert measured.report.top_locks(1)[0].name == "tq[0].qlock"
+
+
+def test_forecast_lower_bounds_measured_times():
+    wl = SyntheticLocks(nlocks=2, ops_per_thread=80, zipf_skew=1.5)
+    profile = analyze(wl.run(nthreads=4, seed=6).trace)
+    f = forecast(profile)
+    # Strong-scaling comparison requires fixed total work: rescale ops.
+    for n in (8, 16):
+        scaled = SyntheticLocks(
+            nlocks=2, ops_per_thread=80 * 4 // n, zipf_skew=1.5
+        )
+        measured = scaled.run(nthreads=n, seed=6).completion_time
+        assert f.completion_time(n) <= measured * 1.1
+
+
+def test_unknown_lock(micro_forecast):
+    with pytest.raises(AnalysisError, match="no lock named"):
+        micro_forecast.cp_share_forecast("nope", 4)
+
+
+def test_invalid_n(micro_forecast):
+    with pytest.raises(AnalysisError, match="n must be"):
+        micro_forecast.completion_time(0)
+
+
+def test_no_locks():
+    from repro.sim import Program
+
+    prog = Program()
+    prog.spawn(lambda env: (yield env.compute(2.0)))
+    f = forecast(analyze(prog.run().trace))
+    assert f.locks == []
+    assert f.bottleneck_lock(64) is None
+    assert f.completion_time(2) == pytest.approx(1.0)
+
+
+def test_render(micro_forecast):
+    text = micro_forecast.render()
+    assert "Saturates at N" in text
+    assert "L2" in text

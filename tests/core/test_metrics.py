@@ -1,0 +1,127 @@
+"""TYPE 1 / TYPE 2 metric values on exactly-known executions."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro_analysis():
+    return analyze(make_micro_program().run().trace)
+
+
+class TestMicroType1:
+    """Paper §II / Fig. 6 numbers for the micro-benchmark."""
+
+    def test_l2_cp_fraction(self, micro_analysis):
+        m = micro_analysis.report.lock("L2")
+        assert m.cp_fraction == pytest.approx(10.0 / 12.0)  # 83.33%
+
+    def test_l1_cp_fraction(self, micro_analysis):
+        m = micro_analysis.report.lock("L1")
+        assert m.cp_fraction == pytest.approx(2.0 / 12.0)  # 16.67%
+
+    def test_l2_invocations_on_cp(self, micro_analysis):
+        m = micro_analysis.report.lock("L2")
+        assert m.invocations_on_cp == 4
+        assert m.contended_on_cp == 3
+        assert m.cont_prob_on_cp == pytest.approx(0.75)  # paper: 75%
+
+    def test_l1_on_cp(self, micro_analysis):
+        m = micro_analysis.report.lock("L1")
+        assert m.invocations_on_cp == 1
+        assert m.cont_prob_on_cp == 0.0  # paper: 0
+
+    def test_invocation_increase(self, micro_analysis):
+        # L2 appears 4x on the CP vs 1 avg invocation per thread (paper §III.B.1).
+        assert micro_analysis.report.lock("L2").invocation_increase == pytest.approx(4.0)
+        assert micro_analysis.report.lock("L1").invocation_increase == pytest.approx(1.0)
+
+    def test_cp_crossings(self, micro_analysis):
+        assert micro_analysis.report.lock("L2").cp_crossings == 3
+        assert micro_analysis.report.lock("L1").cp_crossings == 0
+
+    def test_both_locks_critical(self, micro_analysis):
+        assert micro_analysis.report.lock("L1").is_critical
+        assert micro_analysis.report.lock("L2").is_critical
+
+
+class TestMicroType2:
+    def test_total_invocations(self, micro_analysis):
+        for name in ("L1", "L2"):
+            m = micro_analysis.report.lock(name)
+            assert m.total_invocations == 4
+            assert m.avg_invocations == 1.0
+
+    def test_contention(self, micro_analysis):
+        # 3 of 4 acquisitions of each lock block.
+        for name in ("L1", "L2"):
+            assert micro_analysis.report.lock(name).avg_cont_prob == pytest.approx(0.75)
+
+    def test_wait_time_ranks_l1_first(self, micro_analysis):
+        # The paper's key misleading TYPE 2 signal.
+        l1 = micro_analysis.report.lock("L1")
+        l2 = micro_analysis.report.lock("L2")
+        assert l1.avg_wait_fraction > l2.avg_wait_fraction
+        assert l1.total_wait_time == pytest.approx(2.0 + 4.0 + 6.0)
+        assert l2.total_wait_time == pytest.approx(0.5 + 1.0 + 1.5)
+
+    def test_hold_time(self, micro_analysis):
+        l1 = micro_analysis.report.lock("L1")
+        l2 = micro_analysis.report.lock("L2")
+        assert l1.total_hold_time == pytest.approx(8.0)
+        assert l2.total_hold_time == pytest.approx(10.0)
+
+
+class TestThreadStats:
+    def test_breakdown(self, micro_analysis):
+        stats = {s.tid: s for s in micro_analysis.report.thread_stats}
+        # worker-3: lifetime 12, waits 6 (L1) + 1.5 (L2), exec 4.5.
+        s3 = stats[3]
+        assert s3.lifetime == pytest.approx(12.0)
+        assert s3.lock_wait == pytest.approx(7.5)
+        assert s3.exec_time == pytest.approx(4.5)
+        assert s3.barrier_wait == 0.0
+
+    def test_cp_time_sums_to_duration(self, micro_analysis):
+        total = sum(s.cp_time for s in micro_analysis.report.thread_stats)
+        assert total == pytest.approx(12.0)
+
+
+def test_unused_lock_zero_metrics():
+    from repro.sim import Program
+
+    prog = Program()
+    prog.mutex("unused")
+    used = prog.mutex("used")
+
+    def body(env):
+        yield env.acquire(used)
+        yield env.compute(1.0)
+        yield env.release(used)
+
+    prog.spawn(body)
+    analysis = analyze(prog.run().trace)
+    m = analysis.report.lock("unused")
+    assert m.total_invocations == 0
+    assert m.cp_fraction == 0.0
+    assert m.invocation_increase == 0.0
+    assert m.size_increase == 0.0
+    assert not m.is_critical
+
+
+def test_zero_length_hold_inside_piece_counts():
+    from repro.trace.builder import TraceBuilder
+
+    b = TraceBuilder()
+    lock = b.mutex("L")
+    t = b.thread()
+    t.start(at=0.0)
+    t.critical_section(lock, acquire=1.0, obtain=1.0, release=1.0)
+    t.exit(at=2.0)
+    analysis = analyze(b.build())
+    m = analysis.report.lock("L")
+    assert m.invocations_on_cp == 1
+    assert m.cp_fraction == 0.0

@@ -1,0 +1,93 @@
+"""Online streaming analyzer: exact TYPE 2 counters, criticality heuristic."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.online import OnlineAnalyzer
+from repro.workloads import Radiosity, SyntheticLocks
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro():
+    trace = make_micro_program().run().trace
+    return trace, analyze(trace), OnlineAnalyzer().observe_all(trace)
+
+
+def test_type2_counters_match_offline(micro):
+    trace, offline, online = micro
+    for name in ("L1", "L2"):
+        m = offline.report.lock(name)
+        ls = online.stats(m.obj)
+        assert ls.invocations == m.total_invocations
+        assert ls.contended == m.contended_invocations
+        assert ls.wait_time == pytest.approx(m.total_wait_time)
+        assert ls.hold_time == pytest.approx(m.total_hold_time)
+        assert ls.cont_prob == pytest.approx(m.avg_cont_prob)
+
+
+def test_heuristic_ranks_l2_first(micro):
+    _, _, online = micro
+    ranking = [ls.name for ls in online.ranking()]
+    assert ranking[0] == "L2"
+    # while the classical wait ranking still picks L1 (the paper's trap):
+    assert online.ranking_by_wait()[0].name == "L1"
+
+
+def test_chain_lengths_exact(micro):
+    trace, _, online = micro
+    # L2: 4 dependent holds of 2.5 = 10; L1: chain of 4 holds of 2.0 = 8.
+    l2 = next(ls for ls in online.ranking() if ls.name == "L2")
+    l1 = next(ls for ls in online.ranking() if ls.name == "L1")
+    assert l2.max_chain_time == pytest.approx(10.0)
+    assert l1.max_chain_time == pytest.approx(8.0)
+
+
+def test_chain_breaks_on_idle_lock():
+    from repro.sim import Program
+
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def body(env, i):
+        # Spaced-out, uncontended critical sections: no dependent chain.
+        yield env.compute(1.0 + i * 5.0)
+        yield env.acquire(lock)
+        yield env.compute(0.5)
+        yield env.release(lock)
+
+    prog.spawn_workers(3, body)
+    trace = prog.run().trace
+    online = OnlineAnalyzer().observe_all(trace)
+    ls = online.stats(0)
+    assert ls.contended == 0
+    assert ls.max_chain_time == pytest.approx(0.5)  # chains never grow
+
+
+def test_online_agrees_with_cp_ranking_on_radiosity():
+    trace = Radiosity(total_tasks=80, iterations=1).run(nthreads=8, seed=2).trace
+    offline_top = analyze(trace).report.top_locks(1)[0].name
+    online_top = OnlineAnalyzer().observe_all(trace).ranking()[0].name
+    assert online_top == offline_top
+
+
+def test_incremental_equals_batch():
+    trace = SyntheticLocks(ops_per_thread=20).run(nthreads=4, seed=8).trace
+    batch = OnlineAnalyzer().observe_all(trace)
+    inc = OnlineAnalyzer(trace)
+    for ev in trace:
+        inc.observe(ev)
+    for obj in (info.obj for info in trace.locks):
+        if obj in batch._locks:
+            assert inc.stats(obj).wait_time == pytest.approx(batch.stats(obj).wait_time)
+            assert inc.stats(obj).max_chain_time == pytest.approx(
+                batch.stats(obj).max_chain_time
+            )
+
+
+def test_render(micro):
+    _, _, online = micro
+    text = online.render()
+    assert "Max dependent chain" in text
+    assert "L2" in text

@@ -1,0 +1,62 @@
+"""Greedy optimization planner."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.planner import plan_optimizations
+from repro.errors import AnalysisError
+from repro.workloads import Radiosity
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro_analysis():
+    return analyze(make_micro_program().run().trace)
+
+
+def test_first_step_picks_l2(micro_analysis):
+    plan = plan_optimizations(micro_analysis, steps=1, factor=0.5)
+    assert plan.steps[0].lock_name == "L2"
+    # Halving L2: chain becomes 4 x 1.25 = 5 but CS1 chain (8) + 1.25
+    # now dominates: completion 9.25.
+    assert plan.steps[0].predicted_time == pytest.approx(9.25)
+
+
+def test_second_step_adapts_to_shifted_path(micro_analysis):
+    plan = plan_optimizations(micro_analysis, steps=2, factor=0.5)
+    # After L2 shrinks, the L1 chain dominates: step 2 must pick L1.
+    assert [s.lock_name for s in plan.steps] == ["L2", "L1"]
+    assert plan.steps[1].predicted_time < plan.steps[0].predicted_time
+
+
+def test_cumulative_speedup_monotone(micro_analysis):
+    plan = plan_optimizations(micro_analysis, steps=3, factor=0.5)
+    speedups = [s.cumulative_speedup for s in plan.steps]
+    assert speedups == sorted(speedups)
+    assert plan.final_speedup == speedups[-1] > 1.0
+
+
+def test_min_gain_stops_early(micro_analysis):
+    plan = plan_optimizations(micro_analysis, steps=10, factor=0.99, min_gain=0.05)
+    assert len(plan.steps) == 0  # a 1% shrink never gains 5%
+    assert plan.final_speedup == 1.0
+
+
+def test_invalid_parameters(micro_analysis):
+    with pytest.raises(AnalysisError, match="steps"):
+        plan_optimizations(micro_analysis, steps=0)
+    with pytest.raises(AnalysisError, match="factor"):
+        plan_optimizations(micro_analysis, factor=1.0)
+
+
+def test_radiosity_plan_targets_tq0():
+    analysis = analyze(Radiosity().run(nthreads=16, seed=0).trace)
+    plan = plan_optimizations(analysis, steps=1, factor=0.0)
+    assert plan.steps[0].lock_name == "tq[0].qlock"
+
+
+def test_render(micro_analysis):
+    text = plan_optimizations(micro_analysis, steps=2).render()
+    assert "Optimization plan" in text
+    assert "L2" in text

@@ -1,0 +1,67 @@
+"""Report object: queries, rendering, export."""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.errors import AnalysisError
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def report():
+    return analyze(make_micro_program().run().trace).report
+
+
+def test_lock_lookup(report):
+    assert report.lock("L1").name == "L1"
+    with pytest.raises(AnalysisError, match="no lock named"):
+        report.lock("nope")
+
+
+def test_top_locks_default_order(report):
+    names = [m.name for m in report.top_locks()]
+    assert names == ["L2", "L1"]
+
+
+def test_top_locks_by_wait(report):
+    names = [m.name for m in report.top_locks(by="avg_wait_fraction")]
+    assert names == ["L1", "L2"]
+
+
+def test_top_locks_limit(report):
+    assert len(report.top_locks(1)) == 1
+
+
+def test_critical_locks(report):
+    assert {m.name for m in report.critical_locks} == {"L1", "L2"}
+
+
+def test_total_cp_lock_fraction(report):
+    assert report.total_cp_lock_fraction == pytest.approx(1.0)
+
+
+def test_render_contains_tables(report):
+    text = report.render()
+    assert "TYPE 1" in text
+    assert "TYPE 2" in text
+    assert "L2" in text
+    assert "83.33%" in text
+    assert "Per-thread breakdown" in text
+
+
+def test_render_summary(report):
+    s = report.render_summary()
+    assert "critical path length" in s
+    assert "4" in s  # threads
+
+
+def test_to_dict_json_serializable(report):
+    d = report.to_dict()
+    blob = json.loads(json.dumps(d))
+    assert blob["locks"]["L2"]["cp_time_frac"] == pytest.approx(10 / 12)
+    assert blob["nthreads"] == 4
+    assert len(blob["threads"]) == 4
+    assert blob["critical_path"]["coverage_error"] == 0.0

@@ -1,0 +1,89 @@
+"""What-if predictions validated against actual re-runs."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.whatif import predict_shrink
+from repro.errors import AnalysisError
+from repro.workloads import MicroBenchmark
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro_analysis():
+    return analyze(make_micro_program().run().trace)
+
+
+def test_prediction_matches_actual_rerun(micro_analysis):
+    """For the micro-benchmark the DAG prediction is exact."""
+    for lock, factor in (("L1", 0.5), ("L2", 0.6)):
+        predicted = micro_analysis.what_if(lock, factor=factor)
+        actual = MicroBenchmark(optimize=lock).run(nthreads=4, seed=0)
+        assert predicted.predicted_time == pytest.approx(actual.completion_time)
+
+
+def test_l2_beats_l1(micro_analysis):
+    """The paper's Fig. 6 conclusion, predicted without re-running."""
+    s1 = micro_analysis.what_if("L1", factor=0.5).predicted_speedup
+    s2 = micro_analysis.what_if("L2", factor=0.6).predicted_speedup
+    assert s2 > s1
+
+
+def test_factor_one_is_noop(micro_analysis):
+    r = micro_analysis.what_if("L2", factor=1.0)
+    assert r.predicted_time == pytest.approx(r.baseline_time)
+    assert r.predicted_speedup == pytest.approx(1.0)
+
+
+def test_result_fields(micro_analysis):
+    r = micro_analysis.what_if("L2", factor=0.0)
+    assert r.lock_name == "L2"
+    assert 0 < r.predicted_time < r.baseline_time
+    assert r.predicted_gain == pytest.approx(1 - r.predicted_time / r.baseline_time)
+    assert "L2" in str(r)
+
+
+def test_unknown_lock_rejected(micro_analysis):
+    with pytest.raises(AnalysisError, match="no lock named"):
+        micro_analysis.what_if("bogus")
+
+
+def test_lookup_by_object_id(micro_trace):
+    r = predict_shrink(micro_trace, 1, factor=0.6)
+    assert r.lock_name == "L2"
+    with pytest.raises(AnalysisError, match="no synchronization object"):
+        predict_shrink(micro_trace, 999)
+
+
+def test_standalone_function(micro_trace):
+    r = predict_shrink(micro_trace, "L2", factor=0.6)
+    assert r.predicted_time == pytest.approx(9.5)
+
+
+class TestNoContention:
+    """Contention elimination (§VII's ACS/TM scenario) on the micro-benchmark."""
+
+    def test_l2_handoffs_removed(self, micro_analysis):
+        r = micro_analysis.what_if_no_contention("L2")
+        # Hand-computed: T3's chain becomes CS1 wait (until 8) + CS2 (2.5).
+        assert r.predicted_time == pytest.approx(10.5)
+        assert r.mode == "no-contention"
+        assert "eliminating contention" in str(r)
+
+    def test_l1_no_gain(self, micro_analysis):
+        # Even contention-free L1 can't beat the untouched L2 chain.
+        r = micro_analysis.what_if_no_contention("L1")
+        assert r.predicted_time == pytest.approx(12.0)
+        assert r.predicted_speedup == pytest.approx(1.0)
+
+    def test_never_slower(self, micro_analysis):
+        for lock in ("L1", "L2"):
+            r = micro_analysis.what_if_no_contention(lock)
+            assert r.predicted_time <= r.baseline_time + 1e-9
+
+    def test_standalone(self, micro_trace):
+        from repro.core.whatif import predict_no_contention
+
+        r = predict_no_contention(micro_trace, "L2")
+        assert r.predicted_time == pytest.approx(10.5)

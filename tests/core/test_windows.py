@@ -1,0 +1,93 @@
+"""Windowed criticality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.windows import windowed_criticality
+from repro.errors import AnalysisError
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro_analysis():
+    return analyze(make_micro_program().run().trace)
+
+
+def test_micro_phase_structure(micro_analysis):
+    """Early windows belong to L1's phase, later ones entirely to L2."""
+    wc = windowed_criticality(micro_analysis, nwindows=6)
+    # Execution: [0,2] = L1 CS on the path, [2,4.5] onward = L2 chain.
+    assert wc.dominant_lock(0) == "L1"
+    for w in range(3, 6):
+        assert wc.dominant_lock(w) == "L2"
+    assert wc.phase_changes()  # the dominance switches at least once
+
+
+def test_shares_bounded(micro_analysis):
+    wc = windowed_criticality(micro_analysis, nwindows=8)
+    assert np.all(wc.shares >= -1e-9)
+    assert np.all(wc.shares.sum(axis=1) <= 1 + 1e-9)
+
+
+def test_micro_full_coverage(micro_analysis):
+    # In the micro-benchmark the whole path is inside critical sections,
+    # so every window's shares sum to 1.
+    wc = windowed_criticality(micro_analysis, nwindows=4)
+    assert np.allclose(wc.shares.sum(axis=1), 1.0)
+
+
+def test_single_window_equals_global_cp_fraction(micro_analysis):
+    wc = windowed_criticality(micro_analysis, nwindows=1)
+    l2 = wc.lock_names.index("L2")
+    assert wc.shares[0, l2] == pytest.approx(
+        micro_analysis.report.lock("L2").cp_fraction
+    )
+
+
+def test_window_edges(micro_analysis):
+    wc = windowed_criticality(micro_analysis, nwindows=5)
+    assert wc.nwindows == 5
+    assert wc.window_edges[0] == 0.0
+    assert wc.window_edges[-1] == pytest.approx(12.0)
+
+
+def test_render(micro_analysis):
+    text = windowed_criticality(micro_analysis, nwindows=3).render()
+    assert "Dominant" in text
+    assert "L2" in text
+
+
+def test_invalid_nwindows(micro_analysis):
+    with pytest.raises(AnalysisError, match="nwindows"):
+        windowed_criticality(micro_analysis, nwindows=0)
+
+
+def test_zero_duration_trace_rejected():
+    from repro.sim import Program
+
+    prog = Program()
+    prog.spawn(lambda env: (yield env.compute(0.0)))
+    analysis = analyze(prog.run().trace)
+    with pytest.raises(AnalysisError, match="zero duration"):
+        windowed_criticality(analysis, nwindows=2)
+
+
+def test_dominant_none_when_no_lock_on_window():
+    from repro.sim import Program
+
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def body(env):
+        yield env.acquire(lock)
+        yield env.compute(1.0)
+        yield env.release(lock)
+        yield env.compute(3.0)  # long lock-free tail
+
+    prog.spawn(body)
+    analysis = analyze(prog.run().trace)
+    wc = windowed_criticality(analysis, nwindows=4)
+    assert wc.dominant_lock(0) == "L"
+    assert wc.dominant_lock(3) is None

@@ -1,0 +1,91 @@
+"""Experiment regeneration: registry and paper-shape assertions.
+
+These run the real experiments at reduced sizes where possible; the full
+paper-scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import fig6, fig7, fig9, tsp_opt
+from repro.experiments.harness import list_experiments, run_experiment, table1, table2
+
+
+def test_registry_complete():
+    ids = list_experiments()
+    for expected in (
+        "table1", "table2", "fig6", "fig7", "fig8", "fig9",
+        "fig10_11", "fig12", "fig13_14", "tsp_opt",
+    ):
+        assert expected in ids
+
+
+def test_unknown_experiment():
+    with pytest.raises(ReproError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_static_tables_render():
+    for result in (table1(), table2()):
+        text = result.render()
+        assert result.exp_id in text
+        assert len(result.rows) >= 5
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(nthreads=4)
+
+    def test_cp_time_ranks_l2_first(self, result):
+        assert result.values["L2"]["cp_fraction"] > result.values["L1"]["cp_fraction"]
+
+    def test_wait_time_ranks_l1_first(self, result):
+        assert result.values["L1"]["wait_fraction"] > result.values["L2"]["wait_fraction"]
+
+    def test_l2_optimization_wins(self, result):
+        assert result.values["L2"]["speedup"] > result.values["L1"]["speedup"]
+
+    def test_prediction_matches_measurement(self, result):
+        for lock in ("L1", "L2"):
+            assert result.values[lock]["predicted_speedup"] == pytest.approx(
+                result.values[lock]["speedup"], rel=1e-6
+            )
+
+    def test_exact_paper_cp_fractions(self, result):
+        assert result.values["L1"]["cp_fraction"] == pytest.approx(1 / 6)
+        assert result.values["L2"]["cp_fraction"] == pytest.approx(5 / 6)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "83.33%" in text and "16.67%" in text
+
+
+class TestFig7:
+    def test_timeline_and_counts(self):
+        result = fig7.run(nthreads=4, width=60)
+        assert result.values["l2_on_cp"] == 4
+        assert result.values["l1_on_cp"] == 1
+        chart = result.extra_text
+        assert "critical path" in chart
+        assert "|" in chart
+
+
+class TestFig9Small:
+    def test_growth_shape(self):
+        result = fig9.run(thread_counts=(4, 16), seed=42)
+        tq0 = "tq[0].qlock"
+        assert result.values[16][tq0]["cp_fraction"] > result.values[4][tq0]["cp_fraction"]
+        # TYPE 1 exceeds TYPE 2 weight at scale.
+        assert (
+            result.values[16][tq0]["cp_fraction"]
+            > result.values[16][tq0]["wait_fraction"]
+        )
+
+
+class TestTSPOpt:
+    def test_shapes(self):
+        result = tsp_opt.run(nthreads=16, seed=0)
+        assert result.values["qlock_cp_fraction"] > 0.2
+        assert result.values["improvement"] > 0.0
+        assert "Qlock" in result.render() or "Q.qlock" in result.render()

@@ -1,0 +1,159 @@
+"""Autopatching: profiling unmodified `threading` code."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.instrument import ProfilingSession, TracedRLock, patch_threading
+from repro.trace.events import EventType
+from repro.trace.validate import validate_trace
+
+
+def unmodified_hotlock_app(rounds=3, nthreads=3):
+    """Plain-threading code: knows nothing about profiling."""
+    lock = threading.Lock()
+    done = []
+
+    def worker(i):
+        for _ in range(rounds):
+            with lock:
+                time.sleep(0.002)
+        done.append(i)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return done
+
+
+def test_unmodified_code_traced():
+    with ProfilingSession(name="auto") as s:
+        with patch_threading(s):
+            done = unmodified_hotlock_app()
+    assert sorted(done) == [0, 1, 2]
+    trace = s.trace()
+    validate_trace(trace)
+    analysis = analyze(trace)
+    top = analysis.report.top_locks(1)[0]
+    assert top.name == "Lock#1"
+    assert top.total_invocations == 9
+
+
+def test_originals_restored_after_exit():
+    originals = (threading.Lock, threading.Thread, threading.Condition)
+    with ProfilingSession() as s:
+        with patch_threading(s):
+            assert threading.Lock is not originals[0]
+    assert (threading.Lock, threading.Thread, threading.Condition) == originals
+
+
+def test_restored_even_on_exception():
+    original = threading.Lock
+    with ProfilingSession() as s:
+        with pytest.raises(RuntimeError):
+            with patch_threading(s):
+                raise RuntimeError("boom")
+    assert threading.Lock is original
+
+
+def test_interpreter_internals_not_traced():
+    # Creating (real) threads allocates internal Events/Conditions; none
+    # of those may leak into the trace as traced objects.
+    with ProfilingSession(name="internals") as s:
+        with patch_threading(s):
+            t = threading.Thread(target=lambda: None)
+            t.start()
+            t.join()
+    trace = s.trace()
+    validate_trace(trace)
+    # Only lifecycle events: no lock/cond objects were created by user code.
+    assert all(info.name.startswith(("Lock#", "RLock#", "Barrier#", "Condition#"))
+               for info in trace.objects.values())
+    assert trace.count(EventType.THREAD_CREATE) == 1
+
+
+def test_rlock_nested_traced_once():
+    with ProfilingSession(name="rl") as s:
+        with patch_threading(s):
+            rl = threading.RLock()
+            assert isinstance(rl, TracedRLock)
+            with rl:
+                with rl:
+                    pass
+    trace = s.trace()
+    assert trace.count(EventType.OBTAIN) == 1
+    assert trace.count(EventType.RELEASE) == 1
+
+
+def test_condition_via_patch():
+    with ProfilingSession(name="cond") as s:
+        with patch_threading(s):
+            cv = threading.Condition()
+            state = {"go": False}
+
+            def waiter():
+                with cv.lock:
+                    while not state["go"]:
+                        cv.wait()
+
+            def signaller():
+                time.sleep(0.01)
+                with cv.lock:
+                    state["go"] = True
+                    cv.notify()
+
+            tw = threading.Thread(target=waiter)
+            ts = threading.Thread(target=signaller)
+            tw.start()
+            ts.start()
+            tw.join()
+            ts.join()
+    trace = s.trace()
+    validate_trace(trace)
+    assert trace.count(EventType.COND_WAKE) == 1
+
+
+def test_barrier_via_patch():
+    with ProfilingSession(name="bar") as s:
+        with patch_threading(s):
+            bar = threading.Barrier(2)
+
+            def party():
+                bar.wait()
+
+            ts = [threading.Thread(target=party) for _ in range(2)]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join()
+    trace = s.trace()
+    validate_trace(trace)
+    assert trace.count(EventType.BARRIER_DEPART) == 2
+
+
+def test_real_rlock_contention():
+    with ProfilingSession(name="rlc") as s:
+        rl = TracedRLock(s, "shared")
+
+        def holder():
+            with rl:
+                time.sleep(0.03)
+
+        def waiter():
+            time.sleep(0.01)
+            with rl:
+                pass
+
+        t1, t2 = s.thread(holder), s.thread(waiter)
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+    trace = s.trace()
+    validate_trace(trace)
+    contended = [ev for ev in trace if ev.etype == EventType.OBTAIN and ev.arg == 1]
+    assert len(contended) == 1

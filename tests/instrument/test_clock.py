@@ -1,0 +1,24 @@
+"""Clock sources."""
+
+import pytest
+
+from repro.instrument.clock import MonotonicClock, VirtualClock
+
+
+def test_monotonic_nondecreasing():
+    clock = MonotonicClock()
+    readings = [clock.now_ns() for _ in range(100)]
+    assert readings == sorted(readings)
+
+
+def test_virtual_clock_manual_advance():
+    clock = VirtualClock(start_ns=100)
+    assert clock.now_ns() == 100
+    assert clock.advance(50) == 150
+    assert clock.now_ns() == 150
+
+
+def test_virtual_clock_rejects_backwards():
+    clock = VirtualClock()
+    with pytest.raises(ValueError, match="backwards"):
+        clock.advance(-1)

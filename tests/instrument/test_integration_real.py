@@ -1,0 +1,61 @@
+"""End-to-end: profile real threads, analyze, sane conclusions."""
+
+import time
+
+from repro.core.analyzer import analyze
+from repro.instrument import ProfilingSession
+from repro.trace.validate import validate_trace
+
+
+def run_hot_lock_app(nthreads=4, rounds=4):
+    with ProfilingSession(name="hot-lock") as s:
+        hot = s.lock("hot")
+        cold = s.lock("cold")
+
+        def worker(i):
+            for _ in range(rounds):
+                with hot:
+                    time.sleep(0.004)
+                with cold:
+                    pass  # tiny critical section
+                time.sleep(0.001)
+
+        threads = [s.thread(worker, args=(i,), name=f"w{i}") for i in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    return s.trace()
+
+
+def test_real_trace_analyzable():
+    trace = run_hot_lock_app()
+    validate_trace(trace)
+    analysis = analyze(trace)
+    assert analysis.report.nthreads == 5  # 4 workers + main
+    # Coverage error is clock skew only: far below the total duration.
+    assert analysis.critical_path.coverage_error < 0.2 * trace.duration
+
+
+def test_hot_lock_identified():
+    trace = run_hot_lock_app()
+    analysis = analyze(trace)
+    top = analysis.report.top_locks(1)[0]
+    assert top.name == "hot"
+    assert top.cp_fraction > analysis.report.lock("cold").cp_fraction
+
+
+def test_whatif_on_real_trace():
+    trace = run_hot_lock_app()
+    analysis = analyze(trace)
+    r = analysis.what_if("hot", factor=0.0)
+    assert 0 < r.predicted_time < r.baseline_time
+
+
+def test_roundtrip_real_trace(tmp_path):
+    from repro.trace import read_trace, write_trace
+
+    trace = run_hot_lock_app(nthreads=2, rounds=2)
+    loaded = read_trace(write_trace(trace, tmp_path / "real.clt"))
+    analysis = analyze(loaded)
+    assert analysis.report.lock("hot").total_invocations == 4

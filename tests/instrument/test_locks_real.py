@@ -1,0 +1,99 @@
+"""Traced locks on real threads: protocol, contention detection."""
+
+import time
+
+from repro.instrument import ProfilingSession
+from repro.trace.events import EventType
+from repro.trace.validate import validate_trace
+
+
+def test_uncontended_acquire_not_flagged():
+    with ProfilingSession() as s:
+        lock = s.lock("L")
+        with lock:
+            pass
+    trace = s.trace()
+    obtain = next(ev for ev in trace if ev.etype == EventType.OBTAIN)
+    assert obtain.arg == 0
+
+
+def test_contention_detected():
+    with ProfilingSession() as s:
+        lock = s.lock("L")
+
+        def holder():
+            with lock:
+                time.sleep(0.05)
+
+        def waiter():
+            time.sleep(0.01)  # ensure holder goes first
+            with lock:
+                pass
+
+        t1 = s.thread(holder, name="holder")
+        t2 = s.thread(waiter, name="waiter")
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+    trace = s.trace()
+    validate_trace(trace)
+    contended = [ev for ev in trace if ev.etype == EventType.OBTAIN and ev.arg == 1]
+    assert len(contended) == 1
+
+
+def test_release_before_obtain_in_merged_trace():
+    """The pre-unlock timestamping keeps waker order intact."""
+    with ProfilingSession() as s:
+        lock = s.lock("L")
+
+        def holder():
+            with lock:
+                time.sleep(0.03)
+
+        def waiter():
+            time.sleep(0.005)
+            with lock:
+                pass
+
+        threads = [s.thread(holder), s.thread(waiter)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    trace = s.trace()
+    release_seq = next(
+        ev.seq for ev in trace if ev.etype == EventType.RELEASE
+    )
+    contended_obtain_seq = next(
+        ev.seq for ev in trace if ev.etype == EventType.OBTAIN and ev.arg == 1
+    )
+    assert release_seq < contended_obtain_seq
+
+
+def test_nonblocking_acquire():
+    with ProfilingSession() as s:
+        lock = s.lock("L")
+        assert lock.acquire(blocking=False)
+        assert not lock.locked() or lock.locked()  # held by us
+        lock.release()
+        assert not lock.locked()
+    validate_trace(s.trace())
+
+
+def test_failed_try_acquire_emits_nothing():
+    with ProfilingSession() as s:
+        lock = s.lock("L")
+
+        def holder():
+            with lock:
+                time.sleep(0.05)
+
+        t = s.thread(holder)
+        t.start()
+        time.sleep(0.02)
+        assert not lock.acquire(blocking=False)
+        t.join()
+    trace = s.trace()
+    main_lock_events = [ev for ev in trace if ev.tid == 0 and ev.obj == lock.obj]
+    assert main_lock_events == []

@@ -1,0 +1,82 @@
+"""Profiling session lifecycle and trace assembly."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.instrument import ProfilingSession
+from repro.trace.events import EventType
+from repro.trace.validate import validate_trace
+
+
+def test_empty_session_trace():
+    with ProfilingSession(name="empty") as s:
+        pass
+    trace = s.trace()
+    validate_trace(trace)
+    assert len(trace) == 2  # main THREAD_START + THREAD_EXIT
+    assert trace.meta["name"] == "empty"
+    assert trace.meta["source"] == "instrument"
+
+
+def test_trace_before_exit_rejected():
+    with ProfilingSession() as s:
+        with pytest.raises(TraceError, match="still active"):
+            s.trace()
+
+
+def test_session_not_reusable():
+    s = ProfilingSession()
+    with s:
+        pass
+    with pytest.raises(TraceError, match="not reusable"):
+        with s:
+            pass
+
+
+def test_unregistered_thread_rejected():
+    import threading
+
+    with ProfilingSession() as s:
+        lock = s.lock("L")
+        errors = []
+
+        def rogue():
+            try:
+                lock.acquire()
+            except TraceError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=rogue)  # plain thread, not session.thread
+        t.start()
+        t.join()
+    assert len(errors) == 1
+
+
+def test_thread_names_recorded():
+    with ProfilingSession() as s:
+        t = s.thread(lambda: None, name="worker-x")
+        t.start()
+        t.join()
+    trace = s.trace()
+    assert "worker-x" in trace.threads.values()
+    assert trace.threads[0] == "main"
+
+
+def test_times_relative_to_session_start():
+    with ProfilingSession() as s:
+        pass
+    trace = s.trace()
+    assert trace.start_time >= 0.0
+    assert trace.duration >= 0.0
+
+
+def test_event_order_consistent():
+    with ProfilingSession() as s:
+        lock = s.lock("L")
+        for _ in range(10):
+            with lock:
+                pass
+    trace = s.trace()
+    validate_trace(trace)
+    assert trace.count(EventType.OBTAIN) == 10
+    assert trace.count(EventType.RELEASE) == 10

@@ -1,0 +1,73 @@
+"""Deterministic instrumentation tests via VirtualClock.
+
+With a manually-advanced clock, the real-thread tracer's timestamps are
+exact, so trace contents can be asserted precisely (single-threaded —
+the virtual clock is not thread-safe by design).
+"""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.instrument import ProfilingSession, VirtualClock
+from repro.trace.events import EventType
+
+
+def test_exact_timestamps():
+    clock = VirtualClock()
+    with ProfilingSession(name="vc", clock=clock) as s:
+        lock = s.lock("L")
+        clock.advance(1_000_000_000)  # 1s
+        lock.acquire()
+        clock.advance(2_000_000_000)  # hold for 2s
+        lock.release()
+        clock.advance(500_000_000)
+    trace = s.trace()
+    times = {(EventType(ev.etype), round(ev.time, 9)) for ev in trace}
+    assert (EventType.ACQUIRE, 1.0) in times
+    assert (EventType.RELEASE, 3.0) in times
+    assert trace.duration == pytest.approx(3.5)
+
+
+def test_hold_time_measured_exactly():
+    clock = VirtualClock()
+    with ProfilingSession(name="vc", clock=clock) as s:
+        lock = s.lock("L")
+        for hold_s in (1, 2, 3):
+            lock.acquire()
+            clock.advance(hold_s * 1_000_000_000)
+            lock.release()
+    analysis = analyze(s.trace())
+    assert analysis.report.lock("L").total_hold_time == pytest.approx(6.0)
+    assert analysis.report.lock("L").total_invocations == 3
+
+
+def test_rlock_nested_hold_spans_outermost():
+    from repro.instrument import TracedRLock
+
+    clock = VirtualClock()
+    with ProfilingSession(name="vc", clock=clock) as s:
+        rl = TracedRLock(s, "R")
+        rl.acquire()
+        clock.advance(1_000_000_000)
+        rl.acquire()  # nested
+        clock.advance(1_000_000_000)
+        rl.release()
+        clock.advance(1_000_000_000)
+        rl.release()
+    analysis = analyze(s.trace())
+    m = analysis.report.lock("R")
+    assert m.total_invocations == 1
+    assert m.total_hold_time == pytest.approx(3.0)
+
+
+def test_condition_timestamps_single_thread_timeout():
+    clock = VirtualClock()
+    with ProfilingSession(name="vc", clock=clock) as s:
+        cv = s.condition(name="cv")
+        with cv.lock:
+            # A zero-timeout wait returns immediately (no signaller).
+            ok = cv.wait(timeout=0.0)
+            assert not ok
+    trace = s.trace()
+    assert trace.count(EventType.COND_BLOCK) == 1
+    assert trace.count(EventType.COND_WAKE) == 1

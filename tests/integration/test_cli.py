@@ -1,0 +1,85 @@
+"""CLI end-to-end tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "radiosity" in out
+    assert "fig9" in out
+
+
+def test_run_with_report(capsys):
+    assert main(["run", "micro", "--threads", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "completion time" in out
+    assert "TYPE 1" in out
+
+
+def test_run_write_analyze_roundtrip(tmp_path, capsys):
+    trace_path = tmp_path / "micro.clt"
+    assert main(["run", "micro", "-t", "4", "-o", str(trace_path)]) == 0
+    assert trace_path.exists()
+    capsys.readouterr()
+
+    assert main(["analyze", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "83.33%" in out
+
+
+def test_analyze_json(tmp_path, capsys):
+    trace_path = tmp_path / "micro.clt"
+    main(["run", "micro", "-t", "4", "-o", str(trace_path)])
+    capsys.readouterr()
+    assert main(["analyze", str(trace_path), "--json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["locks"]["L2"]["cp_time_frac"] == pytest.approx(10 / 12)
+
+
+def test_analyze_timeline(tmp_path, capsys):
+    trace_path = tmp_path / "micro.clt"
+    main(["run", "micro", "-t", "2", "-o", str(trace_path)])
+    capsys.readouterr()
+    assert main(["analyze", str(trace_path), "--timeline"]) == 0
+    assert "locks:" in capsys.readouterr().out
+
+
+def test_whatif(tmp_path, capsys):
+    trace_path = tmp_path / "micro.clt"
+    main(["run", "micro", "-t", "4", "-o", str(trace_path)])
+    capsys.readouterr()
+    assert main(["whatif", str(trace_path), "L2", "--factor", "0.6"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted speedup 1.263" in out
+
+
+def test_run_with_params(capsys):
+    assert main(["run", "micro", "-t", "2", "-p", "cs1=1.0", "-p", "cs2=1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "completion time 3.0000" in out  # CS1 chain [0,2]; CS2 ends at 3
+
+
+def test_bad_param_format(capsys):
+    assert main(["run", "micro", "-p", "oops"]) == 1
+    assert "K=V" in capsys.readouterr().err
+
+
+def test_unknown_workload(capsys):
+    assert main(["run", "nope"]) == 1
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table2"]) == 0
+    assert "TYPE 1" in capsys.readouterr().out
+
+
+def test_run_with_cores(capsys):
+    assert main(["run", "micro", "-t", "4", "--cores", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "completion time" in out

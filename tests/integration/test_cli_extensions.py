@@ -1,0 +1,54 @@
+"""CLI tests for the extension features (chart/windows/lock-order/model/compare)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def micro_trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "micro.clt"
+    assert main(["run", "micro", "-t", "4", "-o", str(path)]) == 0
+    return path
+
+
+def test_chart(micro_trace_path, capsys):
+    assert main(["analyze", str(micro_trace_path), "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "lock criticality profile" in out
+    assert "#" in out
+
+
+def test_windows(micro_trace_path, capsys):
+    assert main(["analyze", str(micro_trace_path), "--windows", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "criticality over time" in out
+    assert "Dominant" in out
+
+
+def test_lock_order(micro_trace_path, capsys):
+    assert main(["analyze", str(micro_trace_path), "--lock-order"]) == 0
+    out = capsys.readouterr().out
+    assert "Lock-order graph" in out
+    assert "no lock-order cycles" in out
+
+
+def test_model(micro_trace_path, capsys):
+    assert main(["analyze", str(micro_trace_path), "--model"]) == 0
+    out = capsys.readouterr().out
+    assert "Eyerman-Eeckhout model" in out
+    assert "model speedup @ 8 threads" in out
+
+
+def test_compare(tmp_path, capsys):
+    before = tmp_path / "before.clt"
+    after = tmp_path / "after.clt"
+    assert main(["run", "micro", "-t", "4", "-o", str(before)]) == 0
+    assert main([
+        "run", "micro", "-t", "4", "-p", "optimize=L2", "-o", str(after)
+    ]) == 0
+    capsys.readouterr()
+    assert main(["compare", str(before), str(after)]) == 0
+    out = capsys.readouterr().out
+    assert "end to end" in out
+    assert "+26." in out  # 12.0 -> 9.5 is +26.3%

@@ -1,0 +1,80 @@
+"""Cross-checks over every workload at small scale.
+
+For each application: the trace validates, the backward-walk critical
+path tiles the execution exactly, and the forward DAG agrees — the
+paper's algorithm (Fig. 2) and the independent longest-path formulation
+must never diverge on simulator traces.
+"""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.dag import build_event_graph
+from repro.trace.validate import validate_trace
+from repro.workloads import (
+    LDAPServer,
+    MicroBenchmark,
+    Radiosity,
+    Raytrace,
+    SyntheticLocks,
+    TSP,
+    UTS,
+    Volrend,
+    WaterNSquared,
+)
+
+SMALL_CONFIGS = [
+    (MicroBenchmark(), 4),
+    (Radiosity(total_tasks=40, iterations=1), 4),
+    (TSP(ncities=7), 4),
+    (UTS(root_children=30), 4),
+    (WaterNSquared(timesteps=1), 4),
+    (Volrend(frames=1, tiles_per_frame=40), 4),
+    (Raytrace(bundles_per_thread=5), 4),
+    (LDAPServer(requests=80), 4),
+    (SyntheticLocks(ops_per_thread=25, barrier_every=8), 4),
+]
+
+IDS = [type(wl).__name__ for wl, _ in SMALL_CONFIGS]
+
+
+@pytest.fixture(scope="module", params=range(len(SMALL_CONFIGS)), ids=IDS)
+def workload_run(request):
+    wl, n = SMALL_CONFIGS[request.param]
+    return wl.run(nthreads=n, seed=11)
+
+
+def test_trace_validates(workload_run):
+    validate_trace(workload_run.trace)
+
+
+def test_backward_walk_tiles_execution(workload_run):
+    analysis = analyze(workload_run.trace)
+    cp = analysis.critical_path
+    assert cp.coverage_error == pytest.approx(0.0, abs=1e-9)
+    assert cp.length == pytest.approx(workload_run.completion_time, abs=1e-9)
+
+
+def test_dag_agrees(workload_run):
+    graph = build_event_graph(workload_run.trace)
+    assert graph.completion_time() == pytest.approx(
+        workload_run.completion_time, abs=1e-9
+    )
+
+
+def test_lock_fractions_bounded(workload_run):
+    analysis = analyze(workload_run.trace)
+    assert 0 <= analysis.report.total_cp_lock_fraction <= 1 + 1e-9
+
+
+def test_serialization_roundtrip(workload_run, tmp_path):
+    import numpy as np
+
+    from repro.trace import read_trace, write_trace
+
+    path = write_trace(workload_run.trace, tmp_path / "w.clt")
+    loaded = read_trace(path)
+    assert np.array_equal(loaded.records, workload_run.trace.records)
+    assert analyze(loaded).report.duration == pytest.approx(
+        workload_run.completion_time
+    )

@@ -1,0 +1,92 @@
+"""Barrier semantics: cohort release, generations, event schema."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Program
+from repro.trace.events import EventType
+
+
+def test_all_wait_for_last():
+    prog = Program()
+    bar = prog.barrier(3, "B")
+    departures = {}
+
+    def body(env, i):
+        yield env.compute(float(i))  # arrive at 0, 1, 2
+        yield env.barrier_wait(bar)
+        departures[i] = env.now
+
+    prog.spawn_workers(3, body)
+    prog.run()
+    assert departures == {0: 2.0, 1: 2.0, 2: 2.0}
+
+
+def test_cyclic_generations():
+    prog = Program()
+    bar = prog.barrier(2, "B")
+
+    def body(env, i):
+        for _ in range(3):
+            yield env.compute(1.0 + i)
+            yield env.barrier_wait(bar)
+
+    prog.spawn_workers(2, body)
+    trace = prog.run().trace
+    gens = sorted({ev.arg for ev in trace if ev.etype == EventType.BARRIER_ARRIVE})
+    assert gens == [0, 1, 2]
+    # Completion: each round gated by the slower thread (2.0 each).
+    assert trace.duration == 6.0
+
+
+def test_single_party_barrier_never_blocks():
+    prog = Program()
+    bar = prog.barrier(1, "B")
+
+    def body(env):
+        yield env.compute(1.0)
+        yield env.barrier_wait(bar)
+        yield env.compute(1.0)
+
+    prog.spawn(body)
+    assert prog.run().completion_time == 2.0
+
+
+def test_departs_match_arrivals():
+    prog = Program()
+    bar = prog.barrier(4, "B")
+
+    def body(env, i):
+        yield env.compute(i * 0.5)
+        yield env.barrier_wait(bar)
+
+    prog.spawn_workers(4, body)
+    trace = prog.run().trace
+    assert trace.count(EventType.BARRIER_ARRIVE) == 4
+    assert trace.count(EventType.BARRIER_DEPART) == 4
+
+
+def test_invalid_parties_rejected():
+    prog = Program()
+    with pytest.raises(SimulationError, match="parties"):
+        prog.barrier(0, "B")
+
+
+def test_two_barriers_independent():
+    prog = Program()
+    b1 = prog.barrier(2, "B1")
+    b2 = prog.barrier(2, "B2")
+    log = []
+
+    def body(env, i):
+        yield env.compute(i * 1.0)
+        yield env.barrier_wait(b1)
+        log.append(("b1", i, env.now))
+        yield env.compute((1 - i) * 1.0)
+        yield env.barrier_wait(b2)
+        log.append(("b2", i, env.now))
+
+    prog.spawn_workers(2, body)
+    prog.run()
+    assert all(t == 1.0 for (name, _, t) in log if name == "b1")
+    assert all(t == 2.0 for (name, _, t) in log if name == "b2")

@@ -1,0 +1,147 @@
+"""Bounded channels on the simulator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import Program
+from repro.sim.channels import CLOSED, Channel
+from repro.trace.validate import validate_trace
+
+
+def test_put_get_fifo():
+    prog = Program()
+    ch = Channel(prog, capacity=4, name="c")
+    got = []
+
+    def producer(env):
+        for i in range(6):
+            yield env.compute(0.1)
+            yield from ch.put(env, i)
+        yield from ch.close(env)
+
+    def consumer(env):
+        while True:
+            item = yield from ch.get(env)
+            if item is CLOSED:
+                return
+            got.append(item)
+
+    prog.spawn(producer)
+    prog.spawn(consumer)
+    result = prog.run()
+    assert got == list(range(6))
+    validate_trace(result.trace)
+
+
+def test_bounded_capacity_blocks_producer():
+    prog = Program()
+    ch = Channel(prog, capacity=2, name="c")
+    put_times = []
+
+    def producer(env):
+        for i in range(4):
+            yield from ch.put(env, i)
+            put_times.append(env.now)
+        yield from ch.close(env)
+
+    def slow_consumer(env):
+        while True:
+            yield env.compute(1.0)
+            item = yield from ch.get(env)
+            if item is CLOSED:
+                return
+
+    prog.spawn(producer)
+    prog.spawn(slow_consumer)
+    prog.run()
+    # First two puts immediate; the rest gated by consumption (1/sec).
+    assert put_times[0] == 0.0 and put_times[1] == 0.0
+    assert put_times[2] >= 1.0
+    assert put_times[3] >= 2.0
+
+
+def test_close_wakes_all_getters():
+    prog = Program()
+    ch = Channel(prog, capacity=2, name="c")
+    results = []
+
+    def getter(env, i):
+        item = yield from ch.get(env)
+        results.append(item)
+
+    def closer(env):
+        yield env.compute(1.0)
+        yield from ch.close(env)
+
+    prog.spawn_workers(3, getter)
+    prog.spawn(closer)
+    prog.run()
+    assert results == [CLOSED] * 3
+
+
+def test_drain_after_close():
+    prog = Program()
+    ch = Channel(prog, capacity=8, name="c")
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield from ch.put(env, i)
+        yield from ch.close(env)
+
+    def late_consumer(env):
+        yield env.compute(1.0)
+        while True:
+            item = yield from ch.get(env)
+            if item is CLOSED:
+                return
+            got.append(item)
+
+    prog.spawn(producer)
+    prog.spawn(late_consumer)
+    prog.run()
+    assert got == [0, 1, 2]
+
+
+def test_multiple_producers_consumers():
+    prog = Program()
+    ch = Channel(prog, capacity=4, name="c")
+    got = []
+    live_producers = [3]
+
+    def producer(env, i):
+        for k in range(5):
+            yield env.compute(0.05)
+            yield from ch.put(env, (i, k))
+        live_producers[0] -= 1
+        if live_producers[0] == 0:
+            yield from ch.close(env)
+
+    def consumer(env, i):
+        while True:
+            item = yield from ch.get(env)
+            if item is CLOSED:
+                return
+            got.append(item)
+            yield env.compute(0.02)
+
+    prog.spawn_workers(3, producer, name_prefix="prod")
+    prog.spawn_workers(2, consumer, name_prefix="cons")
+    result = prog.run()
+    assert len(got) == 15
+    validate_trace(result.trace)
+
+
+def test_invalid_capacity():
+    prog = Program()
+    with pytest.raises(WorkloadError, match="capacity"):
+        Channel(prog, capacity=0)
+
+
+def test_channel_locks_traced():
+    prog = Program()
+    Channel(prog, capacity=1, name="pipe")
+    names = {info.name for info in prog.collector._objects.values()}
+    assert "pipe.lock" in names
+    assert "pipe.not_empty" in names
+    assert "pipe.not_full" in names

@@ -1,0 +1,184 @@
+"""Condition variable semantics: wait/signal/broadcast, mutex interplay."""
+
+import pytest
+
+from repro.errors import DeadlockError, SyncUsageError
+from repro.sim import Program
+from repro.trace.events import EventType
+
+
+def producer_consumer_program(nconsumers=1, nsignals=None):
+    prog = Program()
+    lock = prog.mutex("m")
+    cv = prog.condition("cv")
+    box = {"items": 0}
+    consumed = []
+
+    def consumer(env, i):
+        yield env.acquire(lock)
+        while box["items"] == 0:
+            yield env.cond_wait(cv, lock)
+        box["items"] -= 1
+        consumed.append((i, env.now))
+        yield env.release(lock)
+
+    def producer(env):
+        for _ in range(nsignals if nsignals is not None else nconsumers):
+            yield env.compute(1.0)
+            yield env.acquire(lock)
+            box["items"] += 1
+            yield env.cond_signal(cv)
+            yield env.release(lock)
+
+    prog.spawn_workers(nconsumers, consumer, name_prefix="cons")
+    prog.spawn(producer, name="prod")
+    return prog, consumed
+
+
+def test_signal_wakes_one_waiter():
+    prog, consumed = producer_consumer_program(nconsumers=1)
+    prog.run()
+    assert len(consumed) == 1
+    assert consumed[0][1] == 1.0
+
+
+def test_signals_wake_in_fifo_order():
+    prog, consumed = producer_consumer_program(nconsumers=3, nsignals=3)
+    prog.run()
+    assert [c[0] for c in consumed] == [0, 1, 2]
+    assert [c[1] for c in consumed] == [1.0, 2.0, 3.0]
+
+
+def test_broadcast_wakes_all():
+    prog = Program()
+    lock = prog.mutex("m")
+    cv = prog.condition("cv")
+    state = {"go": False}
+    woken = []
+
+    def waiter(env, i):
+        yield env.acquire(lock)
+        while not state["go"]:
+            yield env.cond_wait(cv, lock)
+        woken.append(i)
+        yield env.release(lock)
+
+    def broadcaster(env):
+        yield env.compute(2.0)
+        yield env.acquire(lock)
+        state["go"] = True
+        n = yield env.cond_broadcast(cv)
+        assert n == 3
+        yield env.release(lock)
+
+    prog.spawn_workers(3, waiter)
+    prog.spawn(broadcaster)
+    prog.run()
+    assert sorted(woken) == [0, 1, 2]
+
+
+def test_signal_with_no_waiters_returns_zero():
+    prog = Program()
+    cv = prog.condition("cv")
+
+    def body(env):
+        n = yield env.cond_signal(cv)
+        assert n == 0
+
+    prog.spawn(body)
+    prog.run()
+
+
+def test_woken_threads_serialize_on_mutex():
+    # After a broadcast, waiters must reacquire the mutex one at a time.
+    prog = Program()
+    lock = prog.mutex("m")
+    cv = prog.condition("cv")
+    state = {"go": False}
+    times = []
+
+    def waiter(env, i):
+        yield env.acquire(lock)
+        while not state["go"]:
+            yield env.cond_wait(cv, lock)
+        yield env.compute(1.0)  # hold the mutex for 1.0 after waking
+        times.append(env.now)
+        yield env.release(lock)
+
+    def broadcaster(env):
+        yield env.compute(1.0)
+        yield env.acquire(lock)
+        state["go"] = True
+        yield env.cond_broadcast(cv)
+        yield env.release(lock)
+
+    prog.spawn_workers(3, waiter)
+    prog.spawn(broadcaster)
+    prog.run()
+    assert sorted(times) == [2.0, 3.0, 4.0]
+
+
+def test_cond_wait_without_mutex_rejected():
+    prog = Program()
+    lock = prog.mutex("m")
+    cv = prog.condition("cv")
+
+    def body(env):
+        yield env.cond_wait(cv, lock)
+
+    prog.spawn(body)
+    with pytest.raises(SyncUsageError, match="without holding"):
+        prog.run()
+
+
+def test_waiter_without_signal_deadlocks():
+    prog = Program()
+    lock = prog.mutex("m")
+    cv = prog.condition("cv")
+
+    def body(env):
+        yield env.acquire(lock)
+        yield env.cond_wait(cv, lock)
+
+    prog.spawn(body)
+    with pytest.raises(DeadlockError):
+        prog.run()
+
+
+def test_cond_event_schema():
+    prog, _ = producer_consumer_program(nconsumers=1)
+    trace = prog.run().trace
+    assert trace.count(EventType.COND_BLOCK) == 1
+    assert trace.count(EventType.COND_WAKE) == 1
+    assert trace.count(EventType.COND_SIGNAL) == 1
+    wake = next(ev for ev in trace if ev.etype == EventType.COND_WAKE)
+    prod_tid = next(
+        tid for tid, name in trace.threads.items() if name == "prod"
+    )
+    assert wake.arg == prod_tid
+
+
+def test_cond_wait_releases_mutex():
+    # While the consumer waits, another thread can take the mutex.
+    prog = Program()
+    lock = prog.mutex("m")
+    cv = prog.condition("cv")
+    got_lock_at = []
+
+    def waiter(env):
+        yield env.acquire(lock)
+        yield env.cond_wait(cv, lock)
+        yield env.release(lock)
+
+    def interloper(env):
+        yield env.compute(1.0)
+        yield env.acquire(lock)
+        got_lock_at.append(env.now)
+        yield env.compute(1.0)
+        yield env.cond_signal(cv)
+        yield env.release(lock)
+
+    prog.spawn(waiter)
+    prog.spawn(interloper)
+    prog.run()
+    assert got_lock_at == [1.0]

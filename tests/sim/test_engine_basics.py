@@ -1,0 +1,188 @@
+"""Engine fundamentals: time, lifecycle, determinism, guards."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Program
+from repro.trace.events import EventType
+from repro.trace.validate import validate_trace
+
+from tests.conftest import make_micro_program
+
+
+def test_single_thread_compute():
+    prog = Program()
+
+    def body(env):
+        yield env.compute(1.5)
+        yield env.compute(0.5)
+        return "done"
+
+    h = prog.spawn(body)
+    result = prog.run()
+    assert result.completion_time == 2.0
+    assert h.result == "done"
+    assert result.results[h.tid] == "done"
+
+
+def test_zero_compute_allowed():
+    prog = Program()
+    prog.spawn(lambda env: (yield env.compute(0.0)))
+    assert prog.run().completion_time == 0.0
+
+
+def test_negative_compute_rejected():
+    prog = Program()
+
+    def body(env):
+        yield env.compute(-1.0)
+
+    prog.spawn(body)
+    with pytest.raises(SimulationError, match="negative compute duration"):
+        prog.run()
+
+
+def test_plain_function_body():
+    prog = Program()
+    h = prog.spawn(lambda env: 42)
+    prog.run()
+    assert h.result == 42
+
+
+def test_threads_run_in_parallel():
+    prog = Program()
+
+    def body(env, i):
+        yield env.compute(3.0)
+
+    prog.spawn_workers(5, body)
+    assert prog.run().completion_time == 3.0
+
+
+def test_trace_is_valid(micro_trace):
+    validate_trace(micro_trace)
+
+
+def test_lifecycle_events_present():
+    prog = Program()
+    prog.spawn(lambda env: (yield env.compute(1.0)))
+    trace = prog.run().trace
+    assert trace.count(EventType.THREAD_START) == 1
+    assert trace.count(EventType.THREAD_EXIT) == 1
+
+
+def test_determinism_same_seed():
+    a = make_micro_program().run().trace
+    b = make_micro_program().run().trace
+    assert np.array_equal(a.records, b.records)
+
+
+def test_rng_streams_differ_per_thread():
+    prog = Program(seed=3)
+    seen = []
+
+    def body(env, i):
+        seen.append(float(env.rng.random()))
+        yield env.compute(0.1)
+
+    prog.spawn_workers(4, body)
+    prog.run()
+    assert len(set(seen)) == 4
+
+
+def test_rng_deterministic_across_runs():
+    def collect():
+        prog = Program(seed=9)
+        seen = []
+
+        def body(env, i):
+            seen.append(float(env.rng.random()))
+            yield env.compute(0.1)
+
+        prog.spawn_workers(3, body)
+        prog.run()
+        return seen
+
+    assert collect() == collect()
+
+
+def test_run_twice_rejected():
+    prog = Program()
+    prog.spawn(lambda env: (yield env.compute(1.0)))
+    prog.run()
+    with pytest.raises(SimulationError, match="only be called once"):
+        prog.run()
+
+
+def test_spawn_after_run_rejected():
+    prog = Program()
+    prog.spawn(lambda env: (yield env.compute(1.0)))
+    prog.run()
+    with pytest.raises(SimulationError, match="after run"):
+        prog.spawn(lambda env: (yield env.compute(1.0)))
+
+
+def test_body_exception_wrapped():
+    prog = Program()
+
+    def body(env):
+        yield env.compute(1.0)
+        raise ValueError("boom")
+
+    prog.spawn(body, name="bad")
+    with pytest.raises(SimulationError, match="bad.*ValueError.*boom"):
+        prog.run()
+
+
+def test_yielding_garbage_rejected():
+    prog = Program()
+
+    def body(env):
+        yield "not a request"
+
+    prog.spawn(body)
+    with pytest.raises(SimulationError, match="non-request"):
+        prog.run()
+
+
+def test_max_events_guard():
+    prog = Program(max_events=100)
+
+    def body(env):
+        while True:
+            yield env.compute(1.0)
+
+    prog.spawn(body)
+    with pytest.raises(SimulationError, match="max_events"):
+        prog.run()
+
+
+def test_env_now_tracks_virtual_time():
+    prog = Program()
+    stamps = []
+
+    def body(env):
+        stamps.append(env.now)
+        yield env.compute(2.5)
+        stamps.append(env.now)
+
+    prog.spawn(body)
+    prog.run()
+    assert stamps == [0.0, 2.5]
+
+
+def test_invalid_cores_rejected():
+    with pytest.raises(SimulationError, match="cores"):
+        Program(cores=0)
+
+
+def test_meta_recorded():
+    prog = Program(name="myprog", seed=5, cores=8)
+    prog.spawn(lambda env: (yield env.compute(1.0)))
+    trace = prog.run(meta={"extra": 1}).trace
+    assert trace.meta["name"] == "myprog"
+    assert trace.meta["seed"] == 5
+    assert trace.meta["cores"] == 8
+    assert trace.meta["extra"] == 1
+    assert trace.meta["nthreads"] == 1

@@ -1,0 +1,194 @@
+"""Mutex semantics: exclusivity, FIFO handoff, contended flags, trylock."""
+
+import pytest
+
+from repro.errors import DeadlockError, SyncUsageError
+from repro.sim import Program
+from repro.trace.events import EventType
+
+
+def test_serialization():
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def body(env, i):
+        yield env.acquire(lock)
+        yield env.compute(1.0)
+        yield env.release(lock)
+
+    prog.spawn_workers(3, body)
+    assert prog.run().completion_time == 3.0
+
+
+def test_fifo_handoff_order():
+    prog = Program()
+    lock = prog.mutex("L")
+    order = []
+
+    def body(env, i):
+        yield env.compute(i * 0.1)  # stagger arrival: 0, 0.1, 0.2
+        yield env.acquire(lock)
+        order.append(i)
+        yield env.compute(1.0)
+        yield env.release(lock)
+
+    prog.spawn_workers(3, body)
+    prog.run()
+    assert order == [0, 1, 2]
+
+
+def test_contended_flag():
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def body(env, i):
+        yield env.acquire(lock)
+        yield env.compute(1.0)
+        yield env.release(lock)
+
+    prog.spawn_workers(2, body)
+    trace = prog.run().trace
+    obtains = [ev for ev in trace if ev.etype == EventType.OBTAIN]
+    assert sorted(ev.arg for ev in obtains) == [0, 1]
+
+
+def test_handoff_at_release_time():
+    prog = Program()
+    lock = prog.mutex("L")
+    obtained_at = {}
+
+    def body(env, i):
+        yield env.acquire(lock)
+        obtained_at[i] = env.now
+        yield env.compute(2.0)
+        yield env.release(lock)
+
+    prog.spawn_workers(2, body)
+    prog.run()
+    assert obtained_at == {0: 0.0, 1: 2.0}
+
+
+def test_try_acquire_success_and_failure():
+    prog = Program()
+    lock = prog.mutex("L")
+    results = {}
+
+    def holder(env):
+        yield env.acquire(lock)
+        yield env.compute(2.0)
+        yield env.release(lock)
+
+    def taster(env):
+        yield env.compute(1.0)
+        results["while_held"] = yield env.try_acquire(lock)
+        yield env.compute(2.0)  # holder released at t=2
+        results["after_release"] = yield env.try_acquire(lock)
+        if results["after_release"]:
+            yield env.release(lock)
+
+    prog.spawn(holder)
+    prog.spawn(taster)
+    prog.run()
+    assert results == {"while_held": False, "after_release": True}
+
+
+def test_failed_try_acquire_emits_no_events():
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def holder(env):
+        yield env.acquire(lock)
+        yield env.compute(2.0)
+        yield env.release(lock)
+
+    def taster(env):
+        yield env.compute(1.0)
+        got = yield env.try_acquire(lock)
+        assert not got
+
+    prog.spawn(holder)
+    prog.spawn(taster)
+    trace = prog.run().trace
+    taster_lock_events = [
+        ev for ev in trace if ev.tid == 1 and ev.obj == lock.obj
+    ]
+    assert taster_lock_events == []
+
+
+def test_release_unheld_rejected():
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def body(env):
+        yield env.release(lock)
+
+    prog.spawn(body)
+    with pytest.raises(SyncUsageError, match="held by nobody"):
+        prog.run()
+
+
+def test_release_other_threads_lock_rejected():
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def holder(env):
+        yield env.acquire(lock)
+        yield env.compute(5.0)
+        yield env.release(lock)
+
+    def thief(env):
+        yield env.compute(1.0)
+        yield env.release(lock)
+
+    prog.spawn(holder, name="holder")
+    prog.spawn(thief, name="thief")
+    with pytest.raises(SyncUsageError, match="held by holder"):
+        prog.run()
+
+
+def test_reacquire_rejected():
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def body(env):
+        yield env.acquire(lock)
+        yield env.acquire(lock)
+
+    prog.spawn(body)
+    with pytest.raises(SyncUsageError, match="re-acquired"):
+        prog.run()
+
+
+def test_two_lock_deadlock_detected():
+    prog = Program()
+    a, b = prog.mutex("A"), prog.mutex("B")
+
+    def one(env):
+        yield env.acquire(a)
+        yield env.compute(1.0)
+        yield env.acquire(b)
+
+    def two(env):
+        yield env.acquire(b)
+        yield env.compute(1.0)
+        yield env.acquire(a)
+
+    prog.spawn(one)
+    prog.spawn(two)
+    with pytest.raises(DeadlockError) as exc_info:
+        prog.run()
+    assert set(exc_info.value.blocked) == {0, 1}
+
+
+def test_uncontended_acquire_is_instant():
+    prog = Program()
+    lock = prog.mutex("L")
+
+    def body(env):
+        yield env.compute(1.0)
+        yield env.acquire(lock)
+        assert env.now == 1.0
+        yield env.release(lock)
+
+    prog.spawn(body)
+    assert prog.run().completion_time == 1.0

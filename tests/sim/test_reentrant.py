@@ -1,0 +1,113 @@
+"""Reentrant (RLock-style) mutexes in the simulator."""
+
+import pytest
+
+from repro.errors import SyncUsageError
+from repro.sim import Program
+from repro.trace.events import EventType
+
+
+def test_nested_acquire_allowed():
+    prog = Program()
+    m = prog.mutex("rl", reentrant=True)
+
+    def body(env):
+        yield env.acquire(m)
+        yield env.acquire(m)  # nested: fine
+        yield env.compute(1.0)
+        yield env.release(m)
+        yield env.release(m)
+
+    prog.spawn(body)
+    trace = prog.run().trace
+    # Only the outermost pair is traced.
+    assert trace.count(EventType.ACQUIRE) == 1
+    assert trace.count(EventType.RELEASE) == 1
+
+
+def test_non_reentrant_still_rejects():
+    prog = Program()
+    m = prog.mutex("plain")
+
+    def body(env):
+        yield env.acquire(m)
+        yield env.acquire(m)
+
+    prog.spawn(body)
+    with pytest.raises(SyncUsageError, match="re-acquired"):
+        prog.run()
+
+
+def test_inner_release_keeps_ownership():
+    prog = Program()
+    m = prog.mutex("rl", reentrant=True)
+    got_at = []
+
+    def owner(env):
+        yield env.acquire(m)
+        yield env.acquire(m)
+        yield env.release(m)  # inner release: still held
+        yield env.compute(2.0)
+        yield env.release(m)  # outermost: now handed off
+
+    def waiter(env):
+        yield env.compute(0.5)
+        yield env.acquire(m)
+        got_at.append(env.now)
+        yield env.release(m)
+
+    prog.spawn(owner)
+    prog.spawn(waiter)
+    prog.run()
+    assert got_at == [2.0]
+
+
+def test_try_acquire_reentrant():
+    prog = Program()
+    m = prog.mutex("rl", reentrant=True)
+
+    def body(env):
+        assert (yield env.try_acquire(m))
+        assert (yield env.try_acquire(m))  # nested try succeeds
+        yield env.release(m)
+        yield env.release(m)
+
+    prog.spawn(body)
+    prog.run()
+
+
+def test_cond_wait_with_recursive_hold_rejected():
+    prog = Program()
+    m = prog.mutex("rl", reentrant=True)
+    cv = prog.condition("cv")
+
+    def body(env):
+        yield env.acquire(m)
+        yield env.acquire(m)
+        yield env.cond_wait(cv, m)
+
+    prog.spawn(body)
+    with pytest.raises(SyncUsageError, match="recursively"):
+        prog.run()
+
+
+def test_hold_interval_spans_outermost():
+    from repro.core.analyzer import analyze
+
+    prog = Program()
+    m = prog.mutex("rl", reentrant=True)
+
+    def body(env):
+        yield env.compute(1.0)
+        yield env.acquire(m)
+        yield env.compute(0.5)
+        yield env.acquire(m)
+        yield env.compute(0.5)
+        yield env.release(m)
+        yield env.compute(0.5)
+        yield env.release(m)
+
+    prog.spawn(body)
+    analysis = analyze(prog.run().trace)
+    assert analysis.report.lock("rl").total_hold_time == pytest.approx(1.5)
+    assert analysis.report.lock("rl").total_invocations == 1

@@ -1,0 +1,155 @@
+"""Reader-writer lock semantics: shared readers, exclusive writer, fairness."""
+
+import pytest
+
+from repro.errors import SyncUsageError
+from repro.sim import Program
+
+
+def test_readers_share():
+    prog = Program()
+    rw = prog.rwlock("rw")
+
+    def reader(env, i):
+        yield env.rw_acquire_read(rw)
+        yield env.compute(2.0)
+        yield env.rw_release_read(rw)
+
+    prog.spawn_workers(4, reader)
+    assert prog.run().completion_time == 2.0
+
+
+def test_writers_exclusive():
+    prog = Program()
+    rw = prog.rwlock("rw")
+
+    def writer(env, i):
+        yield env.rw_acquire_write(rw)
+        yield env.compute(1.0)
+        yield env.rw_release_write(rw)
+
+    prog.spawn_workers(3, writer)
+    assert prog.run().completion_time == 3.0
+
+
+def test_writer_excludes_readers():
+    prog = Program()
+    rw = prog.rwlock("rw")
+    read_at = []
+
+    def writer(env):
+        yield env.rw_acquire_write(rw)
+        yield env.compute(2.0)
+        yield env.rw_release_write(rw)
+
+    def reader(env):
+        yield env.compute(0.5)
+        yield env.rw_acquire_read(rw)
+        read_at.append(env.now)
+        yield env.rw_release_read(rw)
+
+    prog.spawn(writer)
+    prog.spawn(reader)
+    prog.run()
+    assert read_at == [2.0]
+
+
+def test_writer_waits_for_readers():
+    prog = Program()
+    rw = prog.rwlock("rw")
+    wrote_at = []
+
+    def reader(env, i):
+        yield env.rw_acquire_read(rw)
+        yield env.compute(1.5)
+        yield env.rw_release_read(rw)
+
+    def writer(env):
+        yield env.compute(0.5)
+        yield env.rw_acquire_write(rw)
+        wrote_at.append(env.now)
+        yield env.rw_release_write(rw)
+
+    prog.spawn_workers(2, reader)
+    prog.spawn(writer)
+    prog.run()
+    assert wrote_at == [1.5]
+
+
+def test_fifo_fairness_reader_queues_behind_writer():
+    # reader A holds; writer W queued; late reader B must NOT jump W.
+    prog = Program()
+    rw = prog.rwlock("rw")
+    order = []
+
+    def reader_a(env):
+        yield env.rw_acquire_read(rw)
+        yield env.compute(2.0)
+        yield env.rw_release_read(rw)
+
+    def writer(env):
+        yield env.compute(0.5)
+        yield env.rw_acquire_write(rw)
+        order.append(("w", env.now))
+        yield env.compute(1.0)
+        yield env.rw_release_write(rw)
+
+    def reader_b(env):
+        yield env.compute(1.0)
+        yield env.rw_acquire_read(rw)
+        order.append(("rb", env.now))
+        yield env.rw_release_read(rw)
+
+    prog.spawn(reader_a)
+    prog.spawn(writer)
+    prog.spawn(reader_b)
+    prog.run()
+    assert order == [("w", 2.0), ("rb", 3.0)]
+
+
+def test_reader_batch_granted_together():
+    prog = Program()
+    rw = prog.rwlock("rw")
+    read_at = []
+
+    def writer(env):
+        yield env.rw_acquire_write(rw)
+        yield env.compute(1.0)
+        yield env.rw_release_write(rw)
+
+    def reader(env, i):
+        yield env.compute(0.5)
+        yield env.rw_acquire_read(rw)
+        read_at.append(env.now)
+        yield env.compute(1.0)
+        yield env.rw_release_read(rw)
+
+    prog.spawn(writer)
+    prog.spawn_workers(3, reader)
+    prog.run()
+    assert read_at == [1.0, 1.0, 1.0]
+
+
+def test_release_read_not_held_rejected():
+    prog = Program()
+    rw = prog.rwlock("rw")
+
+    def body(env):
+        yield env.rw_release_read(rw)
+
+    prog.spawn(body)
+    with pytest.raises(SyncUsageError, match="read-released"):
+        prog.run()
+
+
+def test_release_write_not_held_rejected():
+    prog = Program()
+    rw = prog.rwlock("rw")
+
+    def body(env):
+        yield env.rw_acquire_read(rw)
+        yield env.rw_release_write(rw)
+
+    prog.spawn(body)
+    with pytest.raises(SyncUsageError, match="write-released"):
+        prog.run()

@@ -1,0 +1,105 @@
+"""Semaphore semantics: counting, blocking at zero, FIFO handoff."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Program
+
+
+def test_counting_allows_k_holders():
+    prog = Program()
+    sem = prog.semaphore(2, "S")
+
+    def body(env, i):
+        yield env.sem_acquire(sem)
+        yield env.compute(1.0)
+        yield env.sem_release(sem)
+
+    prog.spawn_workers(4, body)
+    # 4 holders, 2 slots, 1.0 each => 2 waves.
+    assert prog.run().completion_time == 2.0
+
+
+def test_binary_semaphore_serializes():
+    prog = Program()
+    sem = prog.semaphore(1, "S")
+
+    def body(env, i):
+        yield env.sem_acquire(sem)
+        yield env.compute(1.0)
+        yield env.sem_release(sem)
+
+    prog.spawn_workers(3, body)
+    assert prog.run().completion_time == 3.0
+
+
+def test_zero_semaphore_used_for_signalling():
+    prog = Program()
+    sem = prog.semaphore(0, "S")
+    woke_at = []
+
+    def waiter(env):
+        yield env.sem_acquire(sem)
+        woke_at.append(env.now)
+
+    def poster(env):
+        yield env.compute(2.5)
+        yield env.sem_release(sem)
+
+    prog.spawn(waiter)
+    prog.spawn(poster)
+    prog.run()
+    assert woke_at == [2.5]
+
+
+def test_release_without_hold_allowed():
+    # Semaphores (unlike mutexes) may be released by any thread.
+    prog = Program()
+    sem = prog.semaphore(0, "S")
+
+    def body(env):
+        yield env.sem_release(sem)
+        yield env.sem_acquire(sem)
+
+    prog.spawn(body)
+    prog.run()
+    assert sem.value == 0
+
+
+def test_starved_semaphore_deadlocks():
+    prog = Program()
+    sem = prog.semaphore(0, "S")
+
+    def body(env):
+        yield env.sem_acquire(sem)
+
+    prog.spawn(body)
+    with pytest.raises(DeadlockError):
+        prog.run()
+
+
+def test_negative_initial_value_rejected():
+    prog = Program()
+    with pytest.raises(SimulationError, match="semaphore value"):
+        prog.semaphore(-1, "S")
+
+
+def test_fifo_wakeup_order():
+    prog = Program()
+    sem = prog.semaphore(0, "S")
+    order = []
+
+    def waiter(env, i):
+        yield env.compute(i * 0.1)
+        yield env.sem_acquire(sem)
+        order.append(i)
+
+    def poster(env):
+        yield env.compute(1.0)
+        for _ in range(3):
+            yield env.sem_release(sem)
+
+    prog.spawn_workers(3, waiter)
+    prog.spawn(poster)
+    prog.run()
+    assert order == [0, 1, 2]

@@ -1,0 +1,140 @@
+"""Dynamic thread creation and joining."""
+
+from repro.sim import Program
+from repro.trace.events import EventType
+from repro.trace.validate import validate_trace
+
+
+def test_spawn_child_and_join():
+    prog = Program()
+    log = []
+
+    def child(env, x):
+        yield env.compute(2.0)
+        log.append(("child", env.now))
+        return x * 2
+
+    def parent(env):
+        yield env.compute(1.0)
+        h = yield env.spawn(child, 21, name="kid")
+        yield env.join(h)
+        log.append(("joined", env.now))
+        assert h.result == 42
+
+    prog.spawn(parent)
+    result = prog.run()
+    assert ("child", 3.0) in log
+    assert ("joined", 3.0) in log
+    validate_trace(result.trace)
+
+
+def test_join_already_exited_thread():
+    prog = Program()
+
+    def child(env):
+        yield env.compute(1.0)
+
+    def parent(env):
+        h = yield env.spawn(child)
+        yield env.compute(5.0)
+        yield env.join(h)  # child long gone
+        assert env.now == 5.0
+
+    prog.spawn(parent)
+    prog.run()
+
+
+def test_join_all_helper():
+    prog = Program()
+
+    def child(env, d):
+        yield env.compute(d)
+
+    def parent(env):
+        handles = []
+        for d in (1.0, 3.0, 2.0):
+            h = yield env.spawn(child, d)
+            handles.append(h)
+        yield from env.join_all(handles)
+        assert env.now == 3.0
+
+    prog.spawn(parent)
+    prog.run()
+
+
+def test_nested_spawning():
+    prog = Program()
+    depths = []
+
+    def body(env, depth):
+        depths.append(depth)
+        yield env.compute(1.0)
+        if depth < 3:
+            h = yield env.spawn(body, depth + 1)
+            yield env.join(h)
+
+    prog.spawn(body, 0)
+    result = prog.run()
+    assert sorted(depths) == [0, 1, 2, 3]
+    assert result.completion_time == 4.0
+    assert result.trace.count(EventType.THREAD_CREATE) == 3
+    validate_trace(result.trace)
+
+
+def test_create_events_reference_children():
+    prog = Program()
+
+    def child(env):
+        yield env.compute(1.0)
+
+    def parent(env):
+        h = yield env.spawn(child, name="c")
+        yield env.join(h)
+
+    prog.spawn(parent)
+    trace = prog.run().trace
+    create = next(ev for ev in trace if ev.etype == EventType.THREAD_CREATE)
+    child_start = next(
+        ev for ev in trace if ev.etype == EventType.THREAD_START and ev.tid == create.arg
+    )
+    assert child_start.time == create.time
+
+
+def test_multiple_joiners_woken():
+    prog = Program()
+    woke = []
+
+    def target(env):
+        yield env.compute(2.0)
+
+    def make_waiter(handle):
+        def waiter(env, i):
+            yield env.join(handle)
+            woke.append((i, env.now))
+
+        return waiter
+
+    h = prog.spawn(target)
+    # Root threads can join another root thread's handle.
+    def waiter(env, i):
+        yield env.join(h)
+        woke.append((i, env.now))
+
+    prog.spawn_workers(3, waiter)
+    prog.run()
+    assert sorted(woke) == [(0, 2.0), (1, 2.0), (2, 2.0)]
+
+
+def test_thread_handle_properties():
+    prog = Program()
+
+    def child(env):
+        yield env.compute(1.0)
+        return "ok"
+
+    h = prog.spawn(child, name="worker")
+    assert h.name == "worker"
+    assert not h.done
+    prog.run()
+    assert h.done
+    assert h.result == "ok"

@@ -1,0 +1,73 @@
+"""Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.export import to_chrome_trace, write_chrome_trace
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def exported():
+    trace = make_micro_program().run().trace
+    return trace, to_chrome_trace(trace)
+
+
+def test_json_serializable(exported):
+    _, events = exported
+    json.dumps(events)  # no exception
+
+
+def test_thread_metadata(exported):
+    _, events = exported
+    names = {
+        e["args"]["name"] for e in events if e.get("name") == "thread_name"
+    }
+    assert "worker-0" in names
+    assert "CRITICAL PATH" in names
+
+
+def test_critical_sections_exported(exported):
+    _, events = exported
+    cs = [e for e in events if e.get("cat") == "critical-section"]
+    assert len(cs) == 8  # 4 threads x 2 locks
+    l2 = [e for e in cs if e["name"] == "L2"]
+    assert all(e["dur"] == pytest.approx(2500.0) for e in l2)  # 2.5 x 1000us
+
+
+def test_blocked_intervals_exported(exported):
+    _, events = exported
+    waits = [e for e in events if e.get("cat") == "blocked"]
+    assert len(waits) == 6  # 3 contended acquisitions per lock
+    assert all("waker" in e["args"] for e in waits)
+
+
+def test_critical_path_row(exported):
+    _, events = exported
+    cp = sorted(
+        (e for e in events if e.get("cat") == "critical-path"),
+        key=lambda e: e["ts"],
+    )
+    assert len(cp) == 4
+    total = sum(e["dur"] for e in cp)
+    assert total == pytest.approx(12_000.0)  # 12 time units in us
+    # Pieces are contiguous.
+    for a, b in zip(cp, cp[1:]):
+        assert a["ts"] + a["dur"] == pytest.approx(b["ts"])
+
+
+def test_write_to_file(tmp_path):
+    trace = make_micro_program().run().trace
+    path = write_chrome_trace(trace, tmp_path / "out.json")
+    events = json.loads(path.read_text())
+    assert isinstance(events, list) and events
+
+
+def test_reuses_given_analysis():
+    trace = make_micro_program().run().trace
+    analysis = analyze(trace)
+    events = to_chrome_trace(trace, analysis)
+    assert any(e.get("cat") == "critical-path" for e in events)

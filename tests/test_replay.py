@@ -1,0 +1,166 @@
+"""Trace-driven replay: fidelity and modified re-runs."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.replay import reconstruct
+from repro.sim import Program
+from repro.trace.validate import validate_trace
+from repro.workloads import (
+    LDAPServer,
+    MicroBenchmark,
+    Radiosity,
+    SyntheticLocks,
+    TSP,
+    UTS,
+    Volrend,
+    WaterNSquared,
+)
+
+from tests.conftest import make_micro_program
+
+
+REPLAY_CONFIGS = [
+    (MicroBenchmark(), 4),
+    (Radiosity(total_tasks=40, iterations=1), 4),
+    (TSP(ncities=7), 4),
+    (UTS(root_children=30), 4),
+    (WaterNSquared(timesteps=1), 4),
+    (Volrend(frames=1, tiles_per_frame=40), 4),
+    (LDAPServer(requests=60), 4),
+    (SyntheticLocks(ops_per_thread=20, barrier_every=7), 4),
+]
+
+
+@pytest.mark.parametrize(
+    "wl,n", REPLAY_CONFIGS, ids=[type(w).__name__ for w, _ in REPLAY_CONFIGS]
+)
+def test_replay_reproduces_completion_time(wl, n):
+    original = wl.run(nthreads=n, seed=13)
+    replayed = reconstruct(original.trace).run()
+    assert replayed.completion_time == pytest.approx(
+        original.completion_time, abs=1e-9
+    )
+    validate_trace(replayed.trace)
+
+
+def test_replay_preserves_event_structure(micro_trace):
+    replayed = reconstruct(micro_trace).run()
+    # Same number of lock operations, threads, objects.
+    assert len(replayed.trace) == len(micro_trace)
+    assert replayed.trace.thread_ids == micro_trace.thread_ids
+
+
+def test_shrink_matches_ground_truth():
+    base = MicroBenchmark().run(nthreads=4, seed=0)
+    replay = reconstruct(base.trace)
+    shrunk = replay.run(shrink_lock="L2", factor=1.5 / 2.5)
+    actual = MicroBenchmark(optimize="L2").run(nthreads=4, seed=0)
+    assert shrunk.completion_time == pytest.approx(actual.completion_time)
+
+
+def test_shrink_to_zero():
+    base = MicroBenchmark().run(nthreads=4, seed=0)
+    res = reconstruct(base.trace).run(shrink_lock="L1", factor=0.0)
+    # Without L1's work, only the serialized L2 chain remains: 4 * 2.5.
+    assert res.completion_time == pytest.approx(10.0)
+
+
+def test_negative_factor_rejected(micro_trace):
+    with pytest.raises(AnalysisError, match="factor"):
+        reconstruct(micro_trace).run(shrink_lock="L1", factor=-1.0)
+
+
+def test_replay_under_fewer_cores(micro_trace):
+    res = reconstruct(micro_trace).run(cores=1)
+    # One core: the 4.5 of per-thread work serializes fully: 18.0.
+    assert res.completion_time == pytest.approx(18.0)
+
+
+def test_replay_spawn_join_program():
+    prog = Program()
+
+    def child(env, d):
+        yield env.compute(d)
+
+    def parent(env):
+        hs = []
+        for d in (1.0, 3.0, 2.0):
+            h = yield env.spawn(child, d)
+            hs.append(h)
+        yield from env.join_all(hs)
+
+    prog.spawn(parent)
+    original = prog.run()
+    replayed = reconstruct(original.trace).run()
+    assert replayed.completion_time == pytest.approx(3.0)
+    validate_trace(replayed.trace)
+
+
+def test_replay_condition_variables():
+    prog = Program()
+    lock = prog.mutex("m")
+    cv = prog.condition("cv")
+    state = {"ready": 0}
+
+    def waiter(env, i):
+        yield env.acquire(lock)
+        while state["ready"] == 0:
+            yield env.cond_wait(cv, lock)
+        state["ready"] -= 1
+        yield env.release(lock)
+
+    def signaller(env):
+        for _ in range(2):
+            yield env.compute(1.0)
+            yield env.acquire(lock)
+            state["ready"] += 1
+            yield env.cond_signal(cv)
+            yield env.release(lock)
+
+    prog.spawn_workers(2, waiter)
+    prog.spawn(signaller)
+    original = prog.run()
+    # Replay re-executes the cond protocol: same completion time.  (The
+    # shared predicate state is *not* replayed — replay preserves the
+    # synchronization structure, and the original signal pattern releases
+    # the same number of waiters.)
+    replayed = reconstruct(original.trace).run()
+    assert replayed.completion_time == pytest.approx(original.completion_time)
+
+
+def test_replay_semaphore_program():
+    prog = Program()
+    sem = prog.semaphore(2, "S")
+
+    def body(env, i):
+        yield env.sem_acquire(sem)
+        yield env.compute(1.0)
+        yield env.sem_release(sem)
+
+    prog.spawn_workers(4, body)
+    original = prog.run()
+    replayed = reconstruct(original.trace).run()
+    assert replayed.completion_time == pytest.approx(2.0)
+
+
+def test_replay_rwlock_program():
+    prog = Program()
+    rw = prog.rwlock("rw")
+
+    def reader(env, i):
+        yield env.rw_acquire_read(rw)
+        yield env.compute(2.0)
+        yield env.rw_release_read(rw)
+
+    def writer(env):
+        yield env.compute(0.5)
+        yield env.rw_acquire_write(rw)
+        yield env.compute(1.0)
+        yield env.rw_release_write(rw)
+
+    prog.spawn_workers(2, reader)
+    prog.spawn(writer)
+    original = prog.run()
+    replayed = reconstruct(original.trace).run()
+    assert replayed.completion_time == pytest.approx(original.completion_time)

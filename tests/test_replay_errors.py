@@ -1,0 +1,104 @@
+"""Replay error paths and edge cases."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.replay import reconstruct
+from repro.sim import Program
+from repro.trace.builder import TraceBuilder
+
+
+def test_varying_barrier_cohorts_rejected():
+    b = TraceBuilder()
+    bar = b.barrier_obj("B")
+    t0, t1 = b.thread(), b.thread()
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    # Generation 0: both arrive; generation 1: only t0.
+    t0.barrier(bar, arrive=1.0, depart=1.0, gen=0)
+    t1.barrier(bar, arrive=0.5, depart=1.0, gen=0)
+    t0.barrier(bar, arrive=2.0, depart=2.0, gen=1)
+    t0.exit(at=3.0)
+    t1.exit(at=3.0)
+    trace = b.build(validate=False)
+    with pytest.raises(AnalysisError, match="varying cohort sizes"):
+        reconstruct(trace).build()
+
+
+def test_cond_block_without_release_rejected():
+    b = TraceBuilder()
+    cv = b.condition("cv")
+    t0, t1 = b.thread(), b.thread()
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    t0.cond_block(cv, at=1.0)  # no mutex RELEASE follows
+    t0.cond_wake(cv, at=2.0, by=t1)
+    t0.exit(at=3.0)
+    t1.exit(at=3.0)
+    trace = b.build(validate=False)
+    with pytest.raises(AnalysisError, match="cannot reconstruct cond_wait"):
+        reconstruct(trace)
+
+
+def test_empty_threads_replayable():
+    prog = Program()
+    prog.spawn(lambda env: None)
+    original = prog.run()
+    replayed = reconstruct(original.trace).run()
+    assert replayed.completion_time == original.completion_time == 0.0
+
+
+def test_semaphore_initial_value_inferred():
+    prog = Program()
+    sem = prog.semaphore(3, "S")
+
+    def body(env, i):
+        yield env.sem_acquire(sem)
+        yield env.compute(1.0)
+        yield env.sem_release(sem)
+
+    prog.spawn_workers(5, body)
+    original = prog.run()
+    # 5 holders over 3 slots: 1.0 then 2.0 waves -> completion 2.0.
+    assert original.completion_time == pytest.approx(2.0)
+    replayed = reconstruct(original.trace).run()
+    assert replayed.completion_time == pytest.approx(2.0)
+
+
+def test_replay_nested_locks():
+    prog = Program()
+    outer, inner = prog.mutex("outer"), prog.mutex("inner")
+
+    def body(env, i):
+        yield env.acquire(outer)
+        yield env.compute(0.5)
+        yield env.acquire(inner)
+        yield env.compute(0.5)
+        yield env.release(inner)
+        yield env.release(outer)
+
+    prog.spawn_workers(3, body)
+    original = prog.run()
+    replayed = reconstruct(original.trace).run()
+    assert replayed.completion_time == pytest.approx(original.completion_time)
+
+
+def test_shrink_nested_inner_lock():
+    prog = Program()
+    outer, inner = prog.mutex("outer"), prog.mutex("inner")
+
+    def body(env, i):
+        yield env.acquire(outer)
+        yield env.compute(1.0)
+        yield env.acquire(inner)
+        yield env.compute(1.0)
+        yield env.release(inner)
+        yield env.release(outer)
+
+    prog.spawn_workers(2, body)
+    original = prog.run()  # fully serialized: 2 * 2.0 = 4.0
+    assert original.completion_time == pytest.approx(4.0)
+    # Shrinking `inner` removes the time spent while holding it (which is
+    # also inside `outer`).
+    res = reconstruct(original.trace).run(shrink_lock="inner", factor=0.0)
+    assert res.completion_time == pytest.approx(2.0)

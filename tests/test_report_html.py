@@ -1,0 +1,67 @@
+"""HTML report generation."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.report_html import render_html_report, write_html_report
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def html():
+    trace = make_micro_program().run().trace
+    return render_html_report(trace)
+
+
+def test_structure(html):
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.endswith("</html>")
+    assert "TYPE 1" in html and "TYPE 2" in html
+
+
+def test_contains_all_sections(html):
+    for section in (
+        "Execution timeline",
+        "Criticality over time",
+        "What-if predictions",
+        "Scalability forecast",
+        "Who holds L2 on the path",
+    ):
+        assert section in html
+
+
+def test_both_whatif_modes_listed(html):
+    assert "halve critical sections" in html
+    assert "eliminate contention" in html
+
+
+def test_lock_values_present(html):
+    assert "83.33%" in html
+    assert "L2" in html and "L1" in html
+
+
+def test_svg_embedded(html):
+    assert "<svg" in html and "</svg>" in html
+
+
+def test_critical_rows_highlighted(html):
+    assert 'class="critical"' in html
+
+
+def test_custom_title():
+    trace = make_micro_program().run().trace
+    out = render_html_report(trace, title="My <App>")
+    assert "My &lt;App&gt;" in out  # escaped
+
+
+def test_write_to_file(tmp_path):
+    trace = make_micro_program().run().trace
+    path = write_html_report(trace, tmp_path / "report.html")
+    assert path.stat().st_size > 5000
+
+
+def test_reuses_analysis():
+    trace = make_micro_program().run().trace
+    analysis = analyze(trace)
+    assert "critical path" in render_html_report(trace, analysis)

@@ -1,0 +1,67 @@
+"""SVG timeline rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.viz.svg import render_svg, write_svg
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def svg_text():
+    trace = make_micro_program().run().trace
+    return render_svg(trace, width=800)
+
+
+def test_well_formed_xml(svg_text):
+    root = ET.fromstring(svg_text)
+    assert root.tag.endswith("svg")
+
+
+def test_contains_thread_lanes(svg_text):
+    for name in ("worker-0", "worker-3"):
+        assert name in svg_text
+
+
+def test_critical_path_lane(svg_text):
+    assert "critical path" in svg_text
+    assert "#D32F2F" in svg_text  # the CP color
+
+
+def test_lock_legend_and_tooltips(svg_text):
+    assert "L1" in svg_text and "L2" in svg_text
+    assert "<title>" in svg_text
+    assert "blocked on" in svg_text
+
+
+def test_cp_boxes_tile(svg_text):
+    root = ET.fromstring(svg_text)
+    ns = {"svg": "http://www.w3.org/2000/svg"}
+    # Count rects with titles beginning "on " (the CP lane pieces).
+    cp_rects = [
+        r for r in root.iter("{http://www.w3.org/2000/svg}rect")
+        if any(t.text and t.text.startswith("on ") for t in r)
+    ]
+    assert len(cp_rects) == 4
+
+
+def test_write_svg(tmp_path):
+    trace = make_micro_program().run().trace
+    path = write_svg(trace, tmp_path / "timeline.svg")
+    assert path.read_text().startswith("<svg")
+
+
+def test_empty_trace():
+    from repro.trace.trace import Trace
+
+    out = render_svg(Trace.from_events([]))
+    ET.fromstring(out)
+
+
+def test_given_analysis_reused():
+    trace = make_micro_program().run().trace
+    analysis = analyze(trace)
+    assert "critical path" in render_svg(trace, analysis)

@@ -1,0 +1,61 @@
+"""Unit helpers: duration/percent formatting and table rendering."""
+
+import pytest
+
+from repro.tables import format_table
+from repro.units import format_duration, format_percent, ns_to_time, time_to_ns
+
+
+class TestUnits:
+    def test_ns_roundtrip(self):
+        assert time_to_ns(ns_to_time(123_456_789)) == 123_456_789
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0"),
+            (5e-9, "5ns"),
+            (2.5e-6, "2.50us"),
+            (3.25e-3, "3.25ms"),
+            (1.5, "1.500s"),
+            (-1.5, "-1.500s"),
+        ],
+    )
+    def test_format_duration(self, value, expected):
+        assert format_duration(value) == expected
+
+    def test_format_percent(self):
+        assert format_percent(0.3915) == "39.15%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(
+            ["Name", "Value"],
+            [["alpha", 1], ["b", 22]],
+            title="t",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith("Name")
+        assert set(lines[2]) == {"-"}
+        # Numeric column right-aligned: both rows end at the same column.
+        assert lines[3].rstrip().endswith("1")
+        assert lines[4].rstrip().endswith("22")
+        assert len(lines[3].rstrip()) == len(lines[4].rstrip())
+
+    def test_custom_alignment(self):
+        text = format_table(
+            ["A", "B"], [["x", "y"]], align_right=[True, False]
+        )
+        assert "x" in text and "y" in text
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(["H"], [["very-long-cell-content"]])
+        sep = text.splitlines()[1]
+        assert len(sep) >= len("very-long-cell-content")
+
+    def test_empty_rows(self):
+        text = format_table(["A", "B"], [])
+        assert "A" in text

@@ -1,0 +1,77 @@
+"""Visualization tests: timeline and lock-profile charts."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.viz.profile import render_lock_profile
+from repro.viz.timeline import render_timeline
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro():
+    result = make_micro_program().run()
+    return result.trace, analyze(result.trace)
+
+
+class TestTimeline:
+    def test_basic_structure(self, micro):
+        trace, analysis = micro
+        chart = render_timeline(trace, analysis, width=60)
+        lines = chart.splitlines()
+        assert "critical path" in lines[0]
+        rows = [ln for ln in lines if "|" in ln]
+        assert len(rows) == 4  # one per thread
+        assert lines[-1].startswith("locks:")
+
+    def test_cp_marked_uppercase(self, micro):
+        trace, analysis = micro
+        chart = render_timeline(trace, analysis, width=60)
+        # L2 chain on the path (uppercase A); off-path L1 lowercase b.
+        assert "A" in chart
+        assert "b" in chart
+
+    def test_blocked_rendered_as_dots(self, micro):
+        trace, analysis = micro
+        chart = render_timeline(trace, analysis, width=60)
+        assert "." in chart
+
+    def test_width_respected(self, micro):
+        trace, analysis = micro
+        chart = render_timeline(trace, analysis, width=30)
+        for line in chart.splitlines():
+            if line.count("|") == 2:
+                inner = line.split("|")[1]
+                assert len(inner) == 30
+
+    def test_analysis_computed_when_omitted(self, micro):
+        trace, _ = micro
+        assert "locks:" in render_timeline(trace, width=20)
+
+    def test_empty_trace(self):
+        from repro.trace.trace import Trace
+
+        assert render_timeline(Trace.from_events([])) == "(empty trace)"
+
+
+class TestLockProfile:
+    def test_bars_present(self, micro):
+        _, analysis = micro
+        chart = render_lock_profile(analysis.report, width=20)
+        assert "#" in chart and "." in chart
+        assert "L2" in chart and "L1" in chart
+        assert "83.33%" in chart
+
+    def test_cp_ordering(self, micro):
+        _, analysis = micro
+        chart = render_lock_profile(analysis.report)
+        assert chart.index("L2") < chart.index("L1")
+
+    def test_no_locks(self):
+        from repro.sim import Program
+
+        prog = Program()
+        prog.spawn(lambda env: (yield env.compute(1.0)))
+        report = analyze(prog.run().trace).report
+        assert render_lock_profile(report) == "(no lock activity)"

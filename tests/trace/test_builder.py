@@ -1,0 +1,100 @@
+"""Tests for the trace-construction DSL."""
+
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import EventType, ObjectKind
+
+
+def test_simple_program_builds_valid_trace():
+    b = TraceBuilder(meta={"name": "demo"})
+    lock = b.mutex("L")
+    t = b.thread("w")
+    t.start(at=0.0)
+    t.critical_section(lock, acquire=1.0, obtain=1.0, release=2.0)
+    t.exit(at=3.0)
+    trace = b.build()
+    assert trace.duration == 3.0
+    assert trace.meta["name"] == "demo"
+    assert trace.count(EventType.OBTAIN) == 1
+
+
+def test_contended_flag_inferred():
+    b = TraceBuilder()
+    lock = b.mutex("L")
+    t0, t1 = b.thread(), b.thread()
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    t0.critical_section(lock, acquire=0.0, obtain=0.0, release=2.0)
+    t1.critical_section(lock, acquire=1.0, obtain=2.0, release=3.0)
+    t0.exit(at=2.0)
+    t1.exit(at=4.0)
+    trace = b.build()
+    obtains = [ev for ev in trace if ev.etype == EventType.OBTAIN]
+    assert [ev.arg for ev in obtains] == [0, 1]
+
+
+def test_object_kinds():
+    b = TraceBuilder()
+    assert b._objects[b.mutex("m")].kind == ObjectKind.MUTEX
+    assert b._objects[b.barrier_obj("b")].kind == ObjectKind.BARRIER
+    assert b._objects[b.condition("c")].kind == ObjectKind.CONDITION
+    assert b._objects[b.semaphore("s")].kind == ObjectKind.SEMAPHORE
+
+
+def test_build_validates_by_default():
+    b = TraceBuilder()
+    t = b.thread()
+    t.start(at=0.0)  # never exits
+    with pytest.raises(TraceValidationError):
+        b.build()
+    trace = b.build(validate=False)
+    assert len(trace) == 1
+
+
+def test_thread_names():
+    b = TraceBuilder()
+    named = b.thread("alpha")
+    anon = b.thread()
+    named.start(at=0.0).exit(at=1.0)
+    anon.start(at=0.0).exit(at=1.0)
+    trace = b.build()
+    assert trace.thread_name(named.tid) == "alpha"
+    assert trace.thread_name(anon.tid) == f"T{anon.tid}"
+
+
+def test_barrier_and_cond_and_join_events():
+    b = TraceBuilder()
+    bar = b.barrier_obj("B")
+    cv = b.condition("C")
+    main = b.thread("main")
+    child = b.thread("child")
+    main.start(at=0.0)
+    main.create(child, at=0.5)
+    child.start(at=0.5)
+    main.barrier(bar, arrive=1.0, depart=2.0, gen=0)
+    child.barrier(bar, arrive=2.0, depart=2.0, gen=0)
+    child.cond_block(cv, at=3.0)
+    main.cond_signal(cv, at=4.0)
+    child.cond_wake(cv, at=4.0, by=main)
+    child.exit(at=5.0)
+    main.join(child, begin=4.5, end=5.0)
+    main.exit(at=6.0)
+    trace = b.build()
+    assert trace.count(EventType.BARRIER_DEPART) == 2
+    assert trace.count(EventType.COND_SIGNAL) == 1
+    assert trace.count(EventType.JOIN_END) == 1
+
+
+def test_events_sorted_by_time_with_stable_ties():
+    b = TraceBuilder()
+    t0, t1 = b.thread(), b.thread()
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    t1.exit(at=1.0)
+    t0.exit(at=1.0)
+    trace = b.build()
+    # Tie at t=1.0 resolved by emission order: t1's exit first.
+    assert trace[2].tid == 1
+    assert trace[3].tid == 0

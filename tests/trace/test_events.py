@@ -1,0 +1,61 @@
+"""Unit tests for the event model."""
+
+from repro.trace.events import NO_OBJECT, Event, EventType, ObjectKind
+
+
+class TestEventType:
+    def test_blocking_entries(self):
+        assert EventType.ACQUIRE.is_blocking_entry
+        assert EventType.BARRIER_ARRIVE.is_blocking_entry
+        assert EventType.COND_BLOCK.is_blocking_entry
+        assert EventType.JOIN_BEGIN.is_blocking_entry
+
+    def test_non_blocking_entries(self):
+        assert not EventType.RELEASE.is_blocking_entry
+        assert not EventType.THREAD_START.is_blocking_entry
+        assert not EventType.COND_SIGNAL.is_blocking_entry
+
+    def test_wakeups(self):
+        assert EventType.OBTAIN.is_wakeup
+        assert EventType.BARRIER_DEPART.is_wakeup
+        assert EventType.COND_WAKE.is_wakeup
+        assert EventType.JOIN_END.is_wakeup
+        assert not EventType.ACQUIRE.is_wakeup
+
+    def test_values_stable(self):
+        # The binary format encodes these; they must never silently change.
+        assert int(EventType.ACQUIRE) == 1
+        assert int(EventType.OBTAIN) == 2
+        assert int(EventType.RELEASE) == 3
+        assert int(EventType.JOIN_END) == 14
+
+
+class TestObjectKind:
+    def test_lock_like(self):
+        assert ObjectKind.MUTEX.is_lock_like
+        assert ObjectKind.SEMAPHORE.is_lock_like
+        assert ObjectKind.RWLOCK.is_lock_like
+        assert not ObjectKind.BARRIER.is_lock_like
+        assert not ObjectKind.CONDITION.is_lock_like
+        assert not ObjectKind.NONE.is_lock_like
+
+
+class TestEvent:
+    def test_defaults(self):
+        ev = Event(seq=0, time=1.5, tid=3, etype=EventType.THREAD_START)
+        assert ev.obj == NO_OBJECT
+        assert ev.arg == 0
+
+    def test_frozen(self):
+        ev = Event(seq=0, time=0.0, tid=0, etype=EventType.ACQUIRE, obj=1)
+        try:
+            ev.time = 2.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_str_contains_fields(self):
+        ev = Event(seq=7, time=1.25, tid=2, etype=EventType.OBTAIN, obj=4, arg=1)
+        s = str(ev)
+        assert "OBTAIN" in s and "T2" in s and "obj=4" in s

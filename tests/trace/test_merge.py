@@ -1,0 +1,104 @@
+"""Trace merging."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.errors import TraceError
+from repro.trace.merge import merge_traces
+from repro.trace.validate import validate_trace
+from repro.workloads import MicroBenchmark, SyntheticLocks
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def two_traces():
+    a = make_micro_program().run().trace
+    b = SyntheticLocks(ops_per_thread=10, nlocks=2).run(nthreads=2, seed=3).trace
+    return a, b
+
+
+def test_merged_is_valid(two_traces):
+    a, b = two_traces
+    merged = merge_traces([a, b])
+    validate_trace(merged)
+    assert len(merged) == len(a) + len(b)
+    assert len(merged.thread_ids) == len(a.thread_ids) + len(b.thread_ids)
+
+
+def test_ids_disjoint_and_prefixed(two_traces):
+    a, b = two_traces
+    merged = merge_traces([a, b])
+    names = set(merged.threads.values())
+    assert "p0:worker-0" in names
+    assert "p1:worker-0" in names
+    lock_names = {info.name for info in merged.locks}
+    assert "p0:L1" in lock_names and "p1:lock[0]" in lock_names
+
+
+def test_analysis_spans_both(two_traces):
+    a, b = two_traces
+    merged = merge_traces([a, b])
+    analysis = analyze(merged)
+    assert analysis.report.nthreads == len(a.thread_ids) + len(b.thread_ids)
+    # Each component's lock stats survive intact.
+    assert analysis.report.lock("p0:L2").total_hold_time == pytest.approx(10.0)
+
+
+def test_offset_shifts_time(two_traces):
+    a, b = two_traces
+    merged = merge_traces([a, b], offsets=[0.0, 100.0])
+    validate_trace(merged)
+    assert merged.end_time == pytest.approx(100.0 + b.duration)
+    # No dependency chain spans the idle gap between the components, so
+    # the walk stops at the later component's start: the coverage error
+    # equals the 100s offset (exactly the uncovered gap).
+    analysis = analyze(merged)
+    assert analysis.critical_path.length == pytest.approx(b.duration)
+    assert analysis.critical_path.coverage_error == pytest.approx(100.0)
+
+
+def test_single_trace_identity_names(two_traces):
+    a, _ = two_traces
+    merged = merge_traces([a])
+    assert merged.thread_name(0) == "worker-0"  # no prefix for a single trace
+    assert analyze(merged).report.duration == pytest.approx(a.duration)
+
+
+def test_custom_prefixes(two_traces):
+    a, b = two_traces
+    merged = merge_traces([a, b], prefixes=["web:", "db:"])
+    assert "web:worker-0" in merged.threads.values()
+    assert any(info.name.startswith("db:") for info in merged.locks)
+
+
+def test_tid_args_remapped():
+    # Merge two traces with spawn/join: the child references must follow
+    # the remapped tids.
+    from repro.sim import Program
+
+    def make():
+        prog = Program()
+
+        def child(env):
+            yield env.compute(1.0)
+
+        def parent(env):
+            h = yield env.spawn(child)
+            yield env.join(h)
+
+        prog.spawn(parent)
+        return prog.run().trace
+
+    merged = merge_traces([make(), make()])
+    validate_trace(merged)  # joins/creates must still pair up
+
+
+def test_errors(two_traces):
+    a, b = two_traces
+    with pytest.raises(TraceError, match="at least one"):
+        merge_traces([])
+    with pytest.raises(TraceError, match="offsets"):
+        merge_traces([a, b], offsets=[0.0])
+    with pytest.raises(TraceError, match="prefixes"):
+        merge_traces([a, b], prefixes=["x:"])

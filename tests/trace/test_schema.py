@@ -1,0 +1,59 @@
+"""Unit tests for the numpy record schema."""
+
+import numpy as np
+
+from repro.trace.events import Event, EventType
+from repro.trace.schema import (
+    EVENT_DTYPE,
+    empty_records,
+    events_from_records,
+    records_from_events,
+)
+
+
+def sample_events():
+    return [
+        Event(seq=0, time=0.0, tid=0, etype=EventType.THREAD_START),
+        Event(seq=1, time=0.5, tid=0, etype=EventType.ACQUIRE, obj=2),
+        Event(seq=2, time=0.5, tid=0, etype=EventType.OBTAIN, obj=2, arg=0),
+        Event(seq=3, time=1.5, tid=0, etype=EventType.RELEASE, obj=2),
+        Event(seq=4, time=2.0, tid=0, etype=EventType.THREAD_EXIT),
+    ]
+
+
+def test_roundtrip():
+    events = sample_events()
+    records = records_from_events(events)
+    assert records.dtype == EVENT_DTYPE
+    back = list(events_from_records(records))
+    assert back == events
+
+
+def test_empty_records():
+    assert len(empty_records()) == 0
+    assert empty_records(5).shape == (5,)
+
+
+def test_negative_obj_preserved():
+    ev = Event(seq=0, time=0.0, tid=0, etype=EventType.THREAD_START, obj=-1)
+    back = next(events_from_records(records_from_events([ev])))
+    assert back.obj == -1
+
+
+def test_large_values():
+    ev = Event(
+        seq=2**40, time=1e9, tid=2**20, etype=EventType.JOIN_END, obj=2**30, arg=-(2**40)
+    )
+    back = next(events_from_records(records_from_events([ev])))
+    assert back == ev
+
+
+def test_dtype_itemsize_stable():
+    # On-disk format compatibility: field layout is part of the contract.
+    assert EVENT_DTYPE.itemsize == 33  # u8 + f8 + i4 + u1 + i4 + i8, packed
+    assert list(EVENT_DTYPE.names) == ["seq", "time", "tid", "etype", "obj", "arg"]
+
+
+def test_times_stored_as_float64():
+    records = records_from_events(sample_events())
+    assert records["time"].dtype == np.float64

@@ -1,0 +1,59 @@
+"""Descriptive trace statistics."""
+
+import pytest
+
+from repro.trace.events import EventType
+from repro.trace.stats import compute_trace_stats
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return compute_trace_stats(make_micro_program().run().trace)
+
+
+def test_counts(stats):
+    assert stats.nthreads == 4
+    assert stats.nobjects == 2
+    assert stats.duration == pytest.approx(12.0)
+    assert stats.events_by_type["ACQUIRE"] == 8
+    assert stats.events_by_type["THREAD_START"] == 4
+    assert "BARRIER_ARRIVE" not in stats.events_by_type  # zero counts omitted
+
+
+def test_busiest_objects(stats):
+    names = [name for name, _ in stats.events_by_object]
+    assert set(names) == {"L1", "L2"}
+    counts = [c for _, c in stats.events_by_object]
+    assert counts == sorted(counts, reverse=True)
+    assert all(c == 12 for c in counts)  # 4 threads x (acq+obt+rel)
+
+
+def test_events_per_thread(stats):
+    assert set(stats.events_per_thread) == {0, 1, 2, 3}
+    assert sum(stats.events_per_thread.values()) == stats.nevents
+
+
+def test_hold_quantiles(stats):
+    p50, p90, p99 = stats.hold_time_quantiles
+    # Holds are 4x 2.0 (L1) and 4x 2.5 (L2).
+    assert 2.0 <= p50 <= 2.5
+    assert p99 == pytest.approx(2.5, abs=0.01)
+
+
+def test_render(stats):
+    text = stats.render()
+    assert "events" in text
+    assert "Busiest synchronization objects" in text
+    assert "p50" in text
+
+
+def test_empty_holds():
+    from repro.sim import Program
+
+    prog = Program()
+    prog.spawn(lambda env: (yield env.compute(1.0)))
+    s = compute_trace_stats(prog.run().trace)
+    assert s.hold_time_quantiles == (0.0, 0.0, 0.0)
+    assert s.events_by_object == []

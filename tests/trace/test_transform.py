@@ -1,0 +1,93 @@
+"""Trace slicing and thread filtering."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.errors import TraceError
+from repro.trace.transform import filter_threads, slice_time
+from repro.trace.validate import validate_trace
+from repro.workloads import Radiosity, SyntheticLocks
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro_trace_m():
+    return make_micro_program().run().trace
+
+
+class TestSliceTime:
+    def test_slice_is_valid_and_analyzable(self, micro_trace_m):
+        sub = slice_time(micro_trace_m, 3.0, 9.0)
+        validate_trace(sub)
+        analysis = analyze(sub)
+        assert analysis.report.duration <= 6.0 + 1e-9
+
+    def test_open_holds_repaired(self, micro_trace_m):
+        # At t=3, T1 holds L1 (obtained at 2); the slice must synthesize
+        # the acquisition so the RELEASE at t=4 pairs up.
+        sub = slice_time(micro_trace_m, 3.0, 9.0)
+        analysis = analyze(sub)
+        l1 = analysis.report.lock("L1")
+        assert l1.total_invocations >= 1
+
+    def test_full_window_preserves_lock_stats(self, micro_trace_m):
+        sub = slice_time(micro_trace_m, 0.0, 12.0)
+        validate_trace(sub)
+        analysis = analyze(sub)
+        assert analysis.report.lock("L2").total_hold_time == pytest.approx(10.0)
+        assert analysis.report.duration == pytest.approx(12.0)
+
+    def test_tail_slice_keeps_l2_chain(self, micro_trace_m):
+        sub = slice_time(micro_trace_m, 7.0, 12.0)
+        analysis = analyze(sub)
+        # The tail is pure L2 chain: it dominates the sliced CP.
+        assert analysis.report.top_locks(1)[0].name == "L2"
+
+    def test_empty_window_rejected(self, micro_trace_m):
+        with pytest.raises(TraceError, match="empty slice"):
+            slice_time(micro_trace_m, 5.0, 5.0)
+
+    def test_slice_metadata(self, micro_trace_m):
+        sub = slice_time(micro_trace_m, 1.0, 2.0)
+        assert sub.meta["slice_window"] == [1.0, 2.0]
+
+    def test_slice_of_barrier_workload(self):
+        trace = SyntheticLocks(ops_per_thread=20, barrier_every=5).run(
+            nthreads=4, seed=2
+        ).trace
+        mid = trace.duration / 2
+        sub = slice_time(trace, 0.0, mid)
+        validate_trace(sub)
+        analyze(sub)
+
+    def test_slice_of_radiosity(self):
+        trace = Radiosity(total_tasks=40, iterations=1).run(nthreads=4, seed=1).trace
+        sub = slice_time(trace, trace.duration * 0.25, trace.duration * 0.75)
+        validate_trace(sub)
+        analysis = analyze(sub)
+        assert analysis.critical_path.length > 0
+
+
+class TestFilterThreads:
+    def test_subset_valid(self, micro_trace_m):
+        sub = filter_threads(micro_trace_m, [0, 1])
+        validate_trace(sub)
+        assert sub.thread_ids == [0, 1]
+
+    def test_lock_stats_reduced(self, micro_trace_m):
+        sub = filter_threads(micro_trace_m, [0])
+        analysis = analyze(sub)
+        assert analysis.report.lock("L2").total_invocations == 1
+
+    def test_unknown_tid_rejected(self, micro_trace_m):
+        with pytest.raises(TraceError, match="unknown thread ids"):
+            filter_threads(micro_trace_m, [99])
+
+    def test_contended_waits_degrade_gracefully(self, micro_trace_m):
+        # Keeping only T3 removes its wakers; its contended OBTAINs keep
+        # their flag but the analysis must still run (the waker falls back
+        # to the synthesized history inside the slice).
+        sub = filter_threads(micro_trace_m, [3])
+        analysis = analyze(sub, validate=False)
+        assert analysis.report.nthreads == 1

@@ -1,0 +1,65 @@
+"""Property tests for trace slicing over random programs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analyzer import analyze
+from repro.trace.transform import filter_threads, slice_time
+from repro.trace.validate import validate_trace
+
+from tests.core.test_properties import program_st, run_random_program
+
+window_st = st.tuples(
+    program_st,
+    st.floats(min_value=0.0, max_value=0.6),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(window_st)
+def test_slices_stay_valid_and_analyzable(spec):
+    program, lo_frac, width_frac = spec
+    result = run_random_program(program)
+    trace = result.trace
+    if trace.duration <= 0:
+        return
+    lo = trace.start_time + lo_frac * trace.duration
+    hi = min(trace.end_time, lo + width_frac * trace.duration)
+    if hi <= lo:
+        return
+    sub = slice_time(trace, lo, hi)
+    validate_trace(sub)
+    analysis = analyze(sub)
+    # The slice cannot be longer than its window.
+    assert analysis.report.duration <= (hi - lo) + 1e-9
+    # CP invariants still hold inside the slice.
+    assert analysis.critical_path.coverage_error == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_st)
+def test_full_window_slice_preserves_lock_totals(spec):
+    result = run_random_program(spec)
+    trace = result.trace
+    if trace.duration <= 0:
+        return
+    sub = slice_time(trace, trace.start_time, trace.end_time)
+    validate_trace(sub)
+    a_orig = analyze(trace)
+    a_sub = analyze(sub)
+    for m in a_orig.report.locks.values():
+        m2 = a_sub.report.locks[m.obj]
+        assert m2.total_invocations == m.total_invocations
+        assert m2.total_hold_time == pytest.approx(m.total_hold_time, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_st, st.integers(min_value=1, max_value=3))
+def test_thread_filter_stays_valid(spec, keep):
+    result = run_random_program(spec)
+    tids = result.trace.thread_ids[:keep]
+    sub = filter_threads(result.trace, tids)
+    validate_trace(sub)
+    assert set(sub.thread_ids) <= set(tids)
+    analyze(sub, validate=False)

@@ -1,0 +1,203 @@
+"""Each class of trace malformation must be detected, and valid traces pass."""
+
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import Event, EventType, ObjectKind
+from repro.trace.trace import ObjectInfo, Trace
+from repro.trace.validate import trace_problems, validate_trace
+
+
+def test_valid_micro_trace_passes(micro_trace):
+    validate_trace(micro_trace)  # no exception
+
+
+def test_valid_handoff_passes(handoff_trace):
+    assert trace_problems(handoff_trace) == []
+
+
+def _trace(events, objects=None):
+    return Trace.from_events(events, objects=objects or {})
+
+
+LOCK = {0: ObjectInfo(obj=0, kind=ObjectKind.MUTEX, name="L")}
+
+
+def _lifecycle(tid, start, end, middle=()):
+    return [
+        Event(seq=0, time=start, tid=tid, etype=EventType.THREAD_START),
+        *middle,
+        Event(seq=10_000, time=end, tid=tid, etype=EventType.THREAD_EXIT),
+    ]
+
+
+class TestLifecycleChecks:
+    def test_missing_start(self):
+        t = _trace(
+            [
+                Event(seq=0, time=0.0, tid=0, etype=EventType.ACQUIRE, obj=0),
+                Event(seq=1, time=0.0, tid=0, etype=EventType.OBTAIN, obj=0),
+                Event(seq=2, time=1.0, tid=0, etype=EventType.RELEASE, obj=0),
+                Event(seq=3, time=1.0, tid=0, etype=EventType.THREAD_EXIT),
+            ],
+            LOCK,
+        )
+        assert any("expected THREAD_START" in p for p in trace_problems(t))
+
+    def test_missing_exit(self):
+        t = _trace([Event(seq=0, time=0.0, tid=0, etype=EventType.THREAD_START)])
+        assert any("expected THREAD_EXIT" in p for p in trace_problems(t))
+
+    def test_phantom_created_thread(self):
+        t = _trace(
+            _lifecycle(
+                0, 0.0, 1.0,
+                middle=[Event(seq=1, time=0.5, tid=0, etype=EventType.THREAD_CREATE, arg=7)],
+            )
+        )
+        assert any("T7" in p and "no events" in p for p in trace_problems(t))
+
+
+class TestLockChecks:
+    def test_obtain_without_acquire(self):
+        t = _trace(
+            _lifecycle(
+                0, 0.0, 2.0,
+                middle=[
+                    Event(seq=1, time=0.5, tid=0, etype=EventType.OBTAIN, obj=0),
+                    Event(seq=2, time=1.0, tid=0, etype=EventType.RELEASE, obj=0),
+                ],
+            ),
+            LOCK,
+        )
+        assert any("OBTAIN without ACQUIRE" in p for p in trace_problems(t))
+
+    def test_release_without_obtain(self):
+        t = _trace(
+            _lifecycle(
+                0, 0.0, 2.0,
+                middle=[Event(seq=1, time=0.5, tid=0, etype=EventType.RELEASE, obj=0)],
+            ),
+            LOCK,
+        )
+        assert any("RELEASE without OBTAIN" in p for p in trace_problems(t))
+
+    def test_exit_while_holding(self):
+        t = _trace(
+            _lifecycle(
+                0, 0.0, 2.0,
+                middle=[
+                    Event(seq=1, time=0.5, tid=0, etype=EventType.ACQUIRE, obj=0),
+                    Event(seq=2, time=0.5, tid=0, etype=EventType.OBTAIN, obj=0),
+                ],
+            ),
+            LOCK,
+        )
+        assert any("exited holding" in p for p in trace_problems(t))
+
+    def test_mutex_exclusivity_violation(self):
+        events = [
+            Event(seq=0, time=0.0, tid=0, etype=EventType.THREAD_START),
+            Event(seq=1, time=0.0, tid=1, etype=EventType.THREAD_START),
+            Event(seq=2, time=0.1, tid=0, etype=EventType.ACQUIRE, obj=0),
+            Event(seq=3, time=0.1, tid=0, etype=EventType.OBTAIN, obj=0),
+            Event(seq=4, time=0.2, tid=1, etype=EventType.ACQUIRE, obj=0),
+            Event(seq=5, time=0.2, tid=1, etype=EventType.OBTAIN, obj=0),  # still held!
+            Event(seq=6, time=0.3, tid=0, etype=EventType.RELEASE, obj=0),
+            Event(seq=7, time=0.3, tid=1, etype=EventType.RELEASE, obj=0),
+            Event(seq=8, time=0.4, tid=0, etype=EventType.THREAD_EXIT),
+            Event(seq=9, time=0.4, tid=1, etype=EventType.THREAD_EXIT),
+        ]
+        t = _trace(events, LOCK)
+        assert any("while held by" in p for p in trace_problems(t))
+
+    def test_lock_event_on_barrier_object(self):
+        objects = {0: ObjectInfo(obj=0, kind=ObjectKind.BARRIER, name="B")}
+        t = _trace(
+            _lifecycle(
+                0, 0.0, 2.0,
+                middle=[
+                    Event(seq=1, time=0.5, tid=0, etype=EventType.ACQUIRE, obj=0),
+                    Event(seq=2, time=0.5, tid=0, etype=EventType.OBTAIN, obj=0),
+                    Event(seq=3, time=1.0, tid=0, etype=EventType.RELEASE, obj=0),
+                ],
+            ),
+            objects,
+        )
+        assert any("non-lock object" in p for p in trace_problems(t))
+
+
+class TestBarrierChecks:
+    def test_mismatched_cohort(self):
+        b = TraceBuilder()
+        bar = b.barrier_obj("B")
+        t0 = b.thread()
+        t1 = b.thread()
+        t0.start(at=0.0)
+        t1.start(at=0.0)
+        t0.barrier(bar, arrive=1.0, depart=2.0)
+        # t1 arrives but never departs:
+        t1._emit(2.0, EventType.BARRIER_ARRIVE, obj=bar, arg=0)
+        t0.exit(at=3.0)
+        t1.exit(at=3.0)
+        trace = b.build(validate=False)
+        assert any("arrivals" in p and "departures" in p for p in trace_problems(trace))
+
+
+class TestCondChecks:
+    def test_wake_without_block(self):
+        b = TraceBuilder()
+        cv = b.condition("c")
+        t0 = b.thread()
+        t1 = b.thread()
+        t0.start(at=0.0)
+        t1.start(at=0.0)
+        t0.cond_wake(cv, at=1.0, by=t1)
+        t0.exit(at=2.0)
+        t1.exit(at=2.0)
+        trace = b.build(validate=False)
+        assert any("COND_WAKE without COND_BLOCK" in p for p in trace_problems(trace))
+
+    def test_unknown_signaller(self):
+        b = TraceBuilder()
+        cv = b.condition("c")
+        t0 = b.thread()
+        t0.start(at=0.0)
+        t0.cond_block(cv, at=0.5)
+        t0._emit(1.0, EventType.COND_WAKE, obj=cv, arg=42)  # no thread 42
+        t0.exit(at=2.0)
+        trace = b.build(validate=False)
+        assert any("unknown signaller" in p for p in trace_problems(trace))
+
+
+class TestJoinChecks:
+    def test_join_end_before_target_exit(self):
+        b = TraceBuilder()
+        t0 = b.thread()
+        t1 = b.thread()
+        t0.start(at=0.0)
+        t1.start(at=0.0)
+        t0.join(t1, begin=1.0, end=2.0)
+        t0.exit(at=3.0)
+        t1.exit(at=5.0)  # exits after the join "completed"
+        trace = b.build(validate=False)
+        assert any("JOIN_END precedes" in p for p in trace_problems(trace))
+
+    def test_join_never_exited(self):
+        b = TraceBuilder()
+        t0 = b.thread()
+        t0.start(at=0.0)
+        t0._emit(1.0, EventType.JOIN_BEGIN, arg=9)
+        t0._emit(2.0, EventType.JOIN_END, arg=9)
+        t0.exit(at=3.0)
+        trace = b.build(validate=False)
+        assert any("never exited" in p for p in trace_problems(trace))
+
+
+def test_validation_error_lists_problems():
+    t = _trace([Event(seq=0, time=0.0, tid=0, etype=EventType.THREAD_START)])
+    with pytest.raises(TraceValidationError) as exc_info:
+        validate_trace(t)
+    assert exc_info.value.problems
+    assert "invalid trace" in str(exc_info.value)

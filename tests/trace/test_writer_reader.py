@@ -1,0 +1,87 @@
+"""Round-trip and corruption tests for trace serialization."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.reader import read_trace
+from repro.trace.writer import MAGIC, write_trace
+
+
+def assert_traces_equal(a, b):
+    assert len(a) == len(b)
+    assert np.array_equal(a.records, b.records)
+    assert a.objects == b.objects
+    assert a.threads == b.threads
+    assert a.meta == b.meta
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.clt")
+        assert_traces_equal(micro_trace, read_trace(path))
+
+    def test_sniffing_ignores_extension(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.bin")
+        assert_traces_equal(micro_trace, read_trace(path))
+
+    def test_truncated_body_rejected(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.clt")
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(TraceFormatError, match="bytes of records"):
+            read_trace(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "t.clt"
+        path.write_bytes(MAGIC + struct.pack("<Q", 1000) + b"{}")
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            read_trace(path)
+
+    def test_corrupt_header_json_rejected(self, tmp_path):
+        path = tmp_path / "t.clt"
+        bad = b"not json!!"
+        path.write_bytes(MAGIC + struct.pack("<Q", len(bad)) + bad)
+        with pytest.raises(TraceFormatError, match="corrupt header"):
+            read_trace(path)
+
+    def test_empty_file_treated_as_jsonl_and_rejected(self, tmp_path):
+        path = tmp_path / "t.clt"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="missing JSONL header"):
+            read_trace(path)
+
+
+class TestJsonlFormat:
+    def test_roundtrip(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.jsonl")
+        assert_traces_equal(micro_trace, read_trace(path))
+
+    def test_bad_line_rejected(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.jsonl")
+        with open(path, "a") as fh:
+            fh.write("{broken\n")
+        with pytest.raises(TraceFormatError, match="not JSON"):
+            read_trace(path)
+
+    def test_missing_field_rejected(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"seq": 99999, "time": 1.0}\n')
+        with pytest.raises(TraceFormatError, match="bad event record"):
+            read_trace(path)
+
+    def test_blank_lines_tolerated(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.jsonl")
+        text = path.read_text()
+        path.write_text(text.replace("\n", "\n\n", 3))
+        assert_traces_equal(micro_trace, read_trace(path))
+
+
+def test_metadata_preserved(micro_trace, tmp_path):
+    trace = read_trace(write_trace(micro_trace, tmp_path / "x.clt"))
+    assert trace.meta["name"] == "micro"
+    assert trace.objects[0].name == "L1"
+    assert trace.threads[0] == "worker-0"

@@ -1,0 +1,67 @@
+"""Workload registry and base behaviour."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import available_workloads, get_workload
+from repro.workloads.base import Workload, register
+
+
+def test_all_paper_workloads_registered():
+    names = available_workloads()
+    for expected in (
+        "micro",
+        "radiosity",
+        "tsp",
+        "uts",
+        "water-nsquared",
+        "volrend",
+        "raytrace",
+        "openldap",
+        "synthetic",
+    ):
+        assert expected in names
+
+
+def test_get_unknown_workload():
+    with pytest.raises(WorkloadError, match="unknown workload"):
+        get_workload("nope")
+
+
+def test_duplicate_registration_rejected():
+    class Dup(Workload):
+        name = "micro"
+
+        def build(self, prog, nthreads):
+            pass
+
+    with pytest.raises(WorkloadError, match="duplicate"):
+        register(Dup)
+
+
+def test_unnamed_registration_rejected():
+    class NoName(Workload):
+        def build(self, prog, nthreads):
+            pass
+
+    with pytest.raises(WorkloadError, match="no name"):
+        register(NoName)
+
+
+def test_invalid_nthreads():
+    wl = get_workload("micro")()
+    with pytest.raises(WorkloadError, match="nthreads"):
+        wl.run(nthreads=0)
+
+
+def test_describe_captures_scalars():
+    wl = get_workload("micro")()
+    desc = wl.describe()
+    assert desc["cs1"] == 2.0
+    assert desc["cs2"] == 2.5
+
+
+def test_trace_meta_includes_params():
+    res = get_workload("micro")().run(nthreads=2)
+    assert res.trace.meta["workload"] == "micro"
+    assert res.trace.meta["params"]["cs1"] == 2.0

@@ -1,0 +1,45 @@
+"""Micro-benchmark workload: exact completion times (hand-computed)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import MicroBenchmark
+
+
+def test_four_thread_completion():
+    # CS1 serializes to t=8; CS2 chain ends at 12 (paper Fig. 7 layout).
+    res = MicroBenchmark().run(nthreads=4)
+    assert res.completion_time == pytest.approx(12.0)
+
+
+def test_single_thread_completion():
+    assert MicroBenchmark().run(nthreads=1).completion_time == pytest.approx(4.5)
+
+
+def test_two_thread_completion():
+    # T0: CS1 [0,2] CS2 [2,4.5]; T1: CS1 [2,4], CS2 waits til 4.5 -> 7.
+    assert MicroBenchmark().run(nthreads=2).completion_time == pytest.approx(7.0)
+
+
+def test_optimizing_l2_beats_l1():
+    base = MicroBenchmark().run(nthreads=4).completion_time
+    t_l1 = MicroBenchmark(optimize="L1").run(nthreads=4).completion_time
+    t_l2 = MicroBenchmark(optimize="L2").run(nthreads=4).completion_time
+    assert t_l1 == pytest.approx(11.0)
+    assert t_l2 == pytest.approx(9.5)
+    assert base / t_l2 > base / t_l1  # the paper's Fig. 6 conclusion
+
+
+def test_invalid_optimize_target():
+    with pytest.raises(WorkloadError, match="optimize"):
+        MicroBenchmark(optimize="L3")
+
+
+def test_overshooting_optimization_rejected():
+    with pytest.raises(WorkloadError, match="entire critical section"):
+        MicroBenchmark(optimize="L1", optimize_amount=2.0)
+
+
+def test_lock_names():
+    trace = MicroBenchmark().run(nthreads=2).trace
+    assert {info.name for info in trace.locks} == {"L1", "L2"}

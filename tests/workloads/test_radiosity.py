@@ -1,0 +1,83 @@
+"""Radiosity workload: structure, conservation, paper shapes."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.trace.validate import validate_trace
+from repro.workloads import Radiosity
+
+SMALL = dict(total_tasks=60, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return Radiosity(**SMALL).run(nthreads=4, seed=1)
+
+
+def test_trace_valid(small_run):
+    validate_trace(small_run.trace)
+
+
+def test_lock_population(small_run):
+    names = {info.name for info in small_run.trace.locks}
+    assert "tq[0].qlock" in names
+    assert "tq[3].qlock" in names
+    assert "freeInter" in names
+    assert "pbar_lock" in names
+    assert "free_patch_lock" in names
+    # Per-thread queues + 11 misc + pbar_lock.
+    assert len(names) == 4 + 12
+
+
+def test_all_tasks_processed(small_run):
+    # Every seeded task triggers interactions_per_task freeInter CSs, plus
+    # spawned children: freeInter invocation count reveals tasks done.
+    analysis = analyze(small_run.trace)
+    free_inter = analysis.report.lock("freeInter")
+    wl = Radiosity(**SMALL)
+    min_tasks = SMALL["total_tasks"]  # children add more
+    assert free_inter.total_invocations >= min_tasks * wl.interactions_per_task
+
+
+def test_two_lock_variant_lock_names():
+    res = Radiosity(**SMALL, two_lock_queues=True).run(nthreads=2, seed=1)
+    names = {info.name for info in res.trace.locks}
+    assert "tq[0].q_head_lock" in names
+    assert "tq[0].q_tail_lock" in names
+    assert "tq[0].qlock" not in names
+
+
+def test_tq0_share_grows_with_threads():
+    """Paper Fig. 9: tq[0].qlock's CP share rises with the thread count."""
+    shares = {}
+    for n in (4, 16):
+        res = Radiosity().run(nthreads=n, seed=42)
+        analysis = analyze(res.trace)
+        shares[n] = analysis.report.lock("tq[0].qlock").cp_fraction
+    assert shares[16] > 2 * shares[4]
+
+
+def test_wait_time_underestimates_tq0_at_scale():
+    """Paper Figs. 9/10: CP Time >> Wait Time for tq[0].qlock."""
+    res = Radiosity().run(nthreads=16, seed=42)
+    m = analyze(res.trace).report.lock("tq[0].qlock")
+    assert m.cp_fraction > 2 * m.avg_wait_fraction
+
+
+def test_optimization_helps_at_scale():
+    orig = Radiosity().run(nthreads=16, seed=42).completion_time
+    opt = Radiosity(two_lock_queues=True).run(nthreads=16, seed=42).completion_time
+    assert opt <= orig * 1.02  # never materially worse
+
+
+def test_deterministic(small_run):
+    import numpy as np
+
+    again = Radiosity(**SMALL).run(nthreads=4, seed=1)
+    assert np.array_equal(small_run.trace.records, again.trace.records)
+
+
+def test_single_thread_runs():
+    res = Radiosity(total_tasks=30, iterations=1).run(nthreads=1, seed=0)
+    validate_trace(res.trace)
+    assert res.completion_time > 0

@@ -1,0 +1,95 @@
+"""TSP workload: the search is a real branch-and-bound (verified optimal)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.trace.validate import validate_trace
+from repro.workloads import TSP
+
+
+def brute_force_optimum(dist: np.ndarray) -> float:
+    n = len(dist)
+    best = float("inf")
+    for perm in itertools.permutations(range(1, n)):
+        cost = dist[0, perm[0]]
+        for a, b in zip(perm, perm[1:]):
+            cost += dist[a, b]
+        cost += dist[perm[-1], 0]
+        best = min(best, float(cost))
+    return best
+
+
+class SearchTrackingTSP(TSP):
+    """TSP that records the best tour found (for optimality checks)."""
+
+    name = ""  # not registered
+
+    def build(self, prog, nthreads):
+        super().build(prog, nthreads)
+        # Grab the shared state from the spawned workers' closure.
+        self._state = prog.threads[0]._args[1]
+
+
+@pytest.fixture(scope="module")
+def small_tsp_run():
+    wl = SearchTrackingTSP(ncities=7)
+    res = wl.run(nthreads=4, seed=0)
+    return wl, res
+
+
+def test_finds_optimal_tour(small_tsp_run):
+    wl, _ = small_tsp_run
+    dist = wl.make_instance()
+    assert wl._state.best == pytest.approx(brute_force_optimum(dist))
+
+
+def test_parallel_matches_serial_optimum():
+    results = []
+    for n in (1, 6):
+        wl = SearchTrackingTSP(ncities=7)
+        wl.run(nthreads=n, seed=0)
+        results.append(wl._state.best)
+    assert results[0] == pytest.approx(results[1])
+
+
+def test_trace_valid(small_tsp_run):
+    _, res = small_tsp_run
+    validate_trace(res.trace)
+
+
+def test_greedy_tour_is_feasible_upper_bound(small_tsp_run):
+    wl, _ = small_tsp_run
+    dist = wl.make_instance()
+    assert wl.greedy_tour(dist) >= brute_force_optimum(dist) - 1e-9
+
+
+def test_qlock_dominates_at_scale():
+    res = TSP().run(nthreads=24, seed=0)
+    m = analyze(res.trace).report.top_locks(1)[0]
+    assert m.name == "Q.qlock"
+    assert m.cp_fraction > 0.4  # paper: ~68% at 24 threads
+    assert m.cp_fraction > 2 * m.avg_wait_fraction
+
+
+def test_split_queue_improves():
+    orig = TSP().run(nthreads=16, seed=0).completion_time
+    opt = TSP(split_queue=True).run(nthreads=16, seed=0).completion_time
+    assert opt < orig
+
+
+def test_instance_deterministic():
+    a = TSP(instance_seed=7).make_instance()
+    b = TSP(instance_seed=7).make_instance()
+    c = TSP(instance_seed=8).make_instance()
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_instance_symmetric():
+    d = TSP().make_instance()
+    off_diag = ~np.eye(len(d), dtype=bool)
+    assert np.allclose(d[off_diag], d.T[off_diag])
+    assert np.all(np.isinf(np.diag(d)))

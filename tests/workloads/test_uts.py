@@ -1,0 +1,72 @@
+"""UTS workload: deterministic tree, stealing, low-wait lock profile."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.trace.validate import validate_trace
+from repro.workloads import UTS
+from repro.workloads.uts import splitmix64
+
+SMALL = dict(root_children=40, node_cost=0.05)
+
+
+def count_tree_nodes(wl: UTS) -> int:
+    """Walk the implicit tree exactly as the workload defines it."""
+    root = splitmix64(wl.tree_seed)
+    stack = [wl.child_id(root, k) for k in range(wl.root_children)]
+    count = 0
+    while stack:
+        node = stack.pop()
+        count += 1
+        for k in range(wl.children_of(node)):
+            stack.append(wl.child_id(node, k))
+    return count
+
+
+def test_splitmix64_deterministic_and_spread():
+    vals = {splitmix64(i) for i in range(1000)}
+    assert len(vals) == 1000
+    assert splitmix64(42) == splitmix64(42)
+
+
+def test_tree_shape_independent_of_threads():
+    """The tree is a pure function of ids: every run visits every node."""
+    wl = UTS(**SMALL)
+    expected = count_tree_nodes(wl)
+    for n in (1, 4):
+        res = wl.run(nthreads=n, seed=3)
+        analysis = analyze(res.trace)
+        pops = sum(
+            m.total_invocations for m in analysis.report.locks.values()
+            if m.name.startswith("stackLock")
+        )
+        # Each processed node needs >= 1 pop; pushes and empty probes add more.
+        assert pops >= expected
+
+
+def test_trace_valid():
+    res = UTS(**SMALL).run(nthreads=4, seed=3)
+    validate_trace(res.trace)
+
+
+def test_stack_locks_low_wait_but_on_cp():
+    """Paper Fig. 8's UTS story: near-zero wait, nonzero CP presence."""
+    res = UTS().run(nthreads=16, seed=3)
+    analysis = analyze(res.trace)
+    top = analysis.report.top_locks(1)[0]
+    assert top.name.startswith("stackLock")
+    assert top.cp_fraction > 0.01
+    assert top.avg_wait_fraction < top.cp_fraction
+
+
+def test_work_conservation_speedup():
+    t1 = UTS(**SMALL).run(nthreads=1, seed=3).completion_time
+    t4 = UTS(**SMALL).run(nthreads=4, seed=3).completion_time
+    assert t4 < t1
+    assert t4 > t1 / 4 * 0.8  # no free lunch
+
+
+def test_max_nodes_safety_valve():
+    wl = UTS(root_children=50, max_nodes=60, node_cost=0.01)
+    res = wl.run(nthreads=2, seed=0)
+    validate_trace(res.trace)
