@@ -1,0 +1,135 @@
+"""Service throughput benchmark: worker-pool fan-out and cache warmth.
+
+Measures three ways of answering "analyze these N traces":
+
+serial     in-process ``analyze(read_trace(p))`` per trace, one at a time
+pool       submitted to a running service with worker processes
+warm       the identical jobs resubmitted — every one a cache hit
+
+Acceptance targets (ISSUE 1): with N >= 4 traces the pool beats serial
+by >= 2x (requires >= 2 usable cores — asserted only then, reported
+always), and the warm repeat beats its own cold run by >= 10x.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_service.py``)
+or via pytest (``pytest benchmarks/bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.core.analyzer import analyze
+from repro.service import ServiceAPI
+from repro.trace.reader import read_trace
+from repro.workloads import SyntheticLocks
+
+N_TRACES = 8
+WORKLOAD = dict(nlocks=8, ops_per_thread=300, zipf_skew=1.1)
+NTHREADS = 8
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+def make_traces(out_dir: Path, n: int = N_TRACES) -> list[Path]:
+    """n distinct synthetic traces (different seeds => different digests)."""
+    paths = []
+    for seed in range(n):
+        result = SyntheticLocks(**WORKLOAD).run(nthreads=NTHREADS, seed=seed)
+        path = out_dir / f"synthetic-{seed}.clt"
+        from repro.trace.writer import write_trace
+
+        write_trace(result.trace, path)
+        paths.append(path)
+    return paths
+
+
+def run_benchmark(data_dir: Path, n_traces: int = N_TRACES) -> dict:
+    trace_dir = data_dir / "traces-in"
+    trace_dir.mkdir(parents=True)
+    paths = make_traces(trace_dir, n_traces)
+    workers = max(2, min(4, usable_cores()))
+
+    # -- serial baseline ----------------------------------------------------
+    t0 = time.perf_counter()
+    for path in paths:
+        analyze(read_trace(path), validate=False)
+    t_serial = time.perf_counter() - t0
+
+    with ServiceAPI(data_dir / "svc", workers=workers) as api:
+        digests = [api.store.put_file(p).digest for p in paths]
+        params = {"validate": False}
+
+        def run_all() -> float:
+            t0 = time.perf_counter()
+            ids = [
+                api.submit_job({"kind": "analyze", "trace": d, "params": params})["id"]
+                for d in digests
+            ]
+            for job_id in ids:
+                out = api.wait(job_id, timeout=600)
+                assert out["state"] == "done", out
+            return time.perf_counter() - t0
+
+        t_pool = run_all()   # cold: fans out across worker processes
+        t_warm = run_all()   # warm: every job short-circuits on the cache
+        cache_stats = api.cache.stats()
+
+    return {
+        "n_traces": n_traces,
+        "workers": workers,
+        "cores": usable_cores(),
+        "serial_s": t_serial,
+        "pool_s": t_pool,
+        "warm_s": t_warm,
+        "pool_speedup": t_serial / t_pool,
+        "warm_speedup": t_pool / t_warm,
+        "cache_hits": cache_stats["hits"],
+    }
+
+
+def render(r: dict) -> str:
+    lines = [
+        f"service benchmark: {r['n_traces']} traces, {r['workers']} workers, "
+        f"{r['cores']} usable core(s)",
+        f"  serial in-process : {r['serial_s']:8.3f} s",
+        f"  pool (cold)       : {r['pool_s']:8.3f} s   "
+        f"({r['pool_speedup']:.2f}x vs serial)",
+        f"  pool (warm cache) : {r['warm_s']:8.3f} s   "
+        f"({r['warm_speedup']:.1f}x vs cold, {r['cache_hits']} hits)",
+    ]
+    if r["cores"] < 2:
+        lines.append(
+            "  note: <2 usable cores — parallel speedup is not achievable "
+            "on this machine; the >=2x criterion applies on multi-core hosts"
+        )
+    return "\n".join(lines)
+
+
+def check(r: dict) -> None:
+    assert r["cache_hits"] >= r["n_traces"]
+    assert r["warm_speedup"] >= 10.0, f"warm cache only {r['warm_speedup']:.1f}x"
+    if r["cores"] >= 2:
+        assert r["pool_speedup"] >= 2.0, f"pool only {r['pool_speedup']:.2f}x"
+
+
+def test_service_throughput(tmp_path, show):
+    result = run_benchmark(tmp_path)
+    show(render(result))
+    check(result)
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_benchmark(Path(tmp))
+    print(render(result))
+    check(result)
+    print("ok")

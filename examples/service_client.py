@@ -1,0 +1,82 @@
+"""Quickstart for the parallel analysis service.
+
+Boots a service in this process (so the example is self-contained),
+uploads a Radiosity trace over HTTP, and walks every job kind through
+the client — then shows the cache answering the repeat query instantly.
+
+In production you would instead run::
+
+    critical-lock-analysis serve --port 8323 --workers 4
+
+and point ``ServiceClient("http://host:8323")`` at it.
+
+Run with: PYTHONPATH=src python examples/service_client.py
+"""
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.service import ServiceAPI, ServiceClient
+from repro.service.server import make_server
+from repro.trace import write_trace
+from repro.workloads import Radiosity
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        # -- boot a service (normally: `critical-lock-analysis serve`) ----
+        api = ServiceAPI(Path(tmp) / "svc", workers=2)
+        server = make_server(api, "127.0.0.1", 0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient(server.url)
+        print(f"service up at {server.url}")
+
+        # -- trace a workload and upload it -------------------------------
+        result = Radiosity(total_tasks=120, iterations=2).run(nthreads=8, seed=0)
+        trace_path = Path(tmp) / "radiosity.clt"
+        write_trace(result.trace, trace_path)
+        digest = client.upload_trace(trace_path, name="radiosity")
+        print(f"uploaded radiosity trace: {digest[:12]}… ({len(result.trace)} events)")
+
+        # -- analyze: the paper's critical-lock ranking --------------------
+        t0 = time.perf_counter()
+        report = client.analyze(digest, top=3)
+        cold = time.perf_counter() - t0
+        print(f"\ntop critical locks (cold, {cold * 1e3:.0f} ms):")
+        for lock in report["critical_locks"]:
+            print(
+                f"  {lock['name']:<16} CP share {lock['cp_time_frac']:6.1%}  "
+                f"contention prob {lock['cont_prob_on_cp']:6.1%}"
+            )
+
+        # -- what-if: shrink the top lock's critical sections --------------
+        top_lock = report["critical_locks"][0]["name"]
+        whatif = client.whatif(digest, top_lock, factor=0.5)
+        print(f"\nwhat-if: {whatif['summary']}")
+
+        # -- forecast: who saturates first at higher thread counts --------
+        forecast = client.forecast(digest)
+        first = forecast["locks"][0]
+        sat = first["saturation_threads"]
+        print(
+            f"forecast: {first['name']} saturates at "
+            f"{'∞' if sat is None else f'{sat:.0f}'} threads"
+        )
+
+        # -- the cache: same question again is O(1) ------------------------
+        t0 = time.perf_counter()
+        client.analyze(digest, top=3)
+        warm = time.perf_counter() - t0
+        hit_rate = client.metrics()["cache"]["hit_rate"]
+        print(
+            f"\nwarm repeat: {warm * 1e3:.1f} ms "
+            f"({cold / max(warm, 1e-9):.0f}x faster; cache hit rate {hit_rate:.0%})"
+        )
+
+        server.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@
     critical-lock-analysis analyze rad.clt --top 5 --timeline
     critical-lock-analysis whatif rad.clt "tq[0].qlock" --factor 0.5
     critical-lock-analysis experiment fig9
+    critical-lock-analysis serve --port 8323 --workers 4
     critical-lock-analysis list
 
 (also invocable as ``python -m repro``.)
@@ -29,11 +30,23 @@ from repro.workloads import available_workloads, get_workload
 __all__ = ["main", "build_parser"]
 
 
+def _version_string() -> str:
+    """Package version, preferring installed metadata over the source tree."""
+    from importlib import metadata
+
+    try:
+        version = metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        from repro import __version__ as version
+    return f"critical-lock-analysis {version}"
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="critical-lock-analysis",
         description="Critical lock analysis (SC 2012) — simulate, trace, analyze.",
     )
+    p.add_argument("--version", action="version", version=_version_string())
     sub = p.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run a workload on the simulator")
@@ -114,6 +127,24 @@ def build_parser() -> argparse.ArgumentParser:
         "exp_id", help=f"one of: {', '.join(list_experiments())}, or 'all'"
     )
     ex_p.add_argument("--output", "-o", help="also append the tables to this file")
+
+    srv_p = sub.add_parser(
+        "serve", help="run the parallel analysis service (HTTP/JSON API)"
+    )
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=8323)
+    srv_p.add_argument(
+        "--data-dir", default=".cla-service",
+        help="trace store + cache spill directory (default: %(default)s)",
+    )
+    srv_p.add_argument(
+        "--workers", "-w", type=int, default=2,
+        help="analysis worker processes; 0 = run jobs inline (default: %(default)s)",
+    )
+    srv_p.add_argument(
+        "--cache-size", type=int, default=256,
+        help="in-memory result cache entries (default: %(default)s)",
+    )
 
     sub.add_parser("list", help="list workloads and experiments")
     return p
@@ -281,6 +312,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        workers=args.workers,
+        cache_capacity=args.cache_size,
+    )
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("workloads:")
     for name in available_workloads():
@@ -303,6 +346,7 @@ def main(argv: list[str] | None = None) -> int:
         "replay": _cmd_replay,
         "whatif": _cmd_whatif,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
         "list": _cmd_list,
     }[args.command]
     try:

@@ -59,6 +59,28 @@ class ComparisonReport:
             self.deltas, key=lambda d: abs(d.cp_fraction_delta), reverse=True
         )[:n]
 
+    def to_dict(self) -> dict:
+        """JSON-serializable dump (used by the analysis service)."""
+        return {
+            "duration_before": self.duration_before,
+            "duration_after": self.duration_after,
+            "speedup": self.speedup,
+            "improvement": self.improvement,
+            "locks": [
+                {
+                    "name": d.name,
+                    "cp_time_frac_before": d.cp_fraction_before,
+                    "cp_time_frac_after": d.cp_fraction_after,
+                    "cp_time_frac_delta": d.cp_fraction_delta,
+                    "cont_prob_before": d.cont_prob_before,
+                    "cont_prob_after": d.cont_prob_after,
+                    "present_before": d.present_before,
+                    "present_after": d.present_after,
+                }
+                for d in self.deltas
+            ],
+        }
+
     def render(self, n: int = 8) -> str:
         rows = []
         for d in self.top_movers(n):

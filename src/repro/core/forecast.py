@@ -94,6 +94,30 @@ class ScalabilityForecast:
         known = ", ".join(lf.name for lf in self.locks)
         raise AnalysisError(f"no lock named {name!r} in forecast; known: {known}")
 
+    def to_dict(self, thread_counts: tuple = (8, 16, 32, 64)) -> dict:
+        """JSON-serializable dump (used by the analysis service)."""
+        return {
+            "total_work": self.total_work,
+            "profiled_threads": self.profiled_threads,
+            "completion_time": {
+                str(n): self.completion_time(n) for n in thread_counts
+            },
+            "locks": [
+                {
+                    "name": lf.name,
+                    "invocations": lf.invocations,
+                    "mean_hold": lf.mean_hold,
+                    "serial_demand": lf.serial_demand,
+                    "saturation_threads": (
+                        None
+                        if lf.saturation_threads(self.total_work) == float("inf")
+                        else lf.saturation_threads(self.total_work)
+                    ),
+                }
+                for lf in self.locks
+            ],
+        }
+
     def render(self, thread_counts: tuple = (8, 16, 32, 64), top: int = 5) -> str:
         rows = []
         for lf in self.locks[:top]:

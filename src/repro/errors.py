@@ -20,6 +20,7 @@ __all__ = [
     "AnalysisError",
     "WakerResolutionError",
     "WorkloadError",
+    "ServiceError",
 ]
 
 
@@ -86,3 +87,15 @@ class WakerResolutionError(AnalysisError):
 
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The analysis service rejected a request or lost a job.
+
+    Carries an HTTP-ish ``status`` so the API layer can map library
+    failures onto response codes without string matching.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = int(status)
+        super().__init__(message)

@@ -1,0 +1,47 @@
+"""Parallel analysis service.
+
+Turns the one-shot post-processing analyzer into a persistent server:
+traces are uploaded once into a content-addressed :class:`TraceStore`,
+analysis requests become :class:`Job`\\ s fanned out across a
+:class:`WorkerPool` of OS processes (sidestepping the GIL for the
+numpy-heavy critical-path walk), and finished reports land in a
+:class:`ResultCache` keyed on (trace digest, analysis kind, params) so
+repeated queries are O(1).  A stdlib-only HTTP/JSON front end
+(:mod:`repro.service.server`) and a matching :class:`ServiceClient`
+expose the whole thing over the network; ``critical-lock-analysis
+serve`` wires it into the CLI.
+
+Layering::
+
+    server.py   HTTP transport (http.server, threads)
+      api.py    routing + request/response schemas      <- also usable in-process
+    jobs.py     job model, JobStore, execute() facade   <- pure, picklable
+    pool.py     multiprocessing worker pool + supervisor
+    cache.py    LRU result cache with disk spill
+    store.py    content-addressed trace storage
+    metrics.py  counters + latency histograms (self-observation)
+    client.py   urllib-based HTTP client
+"""
+
+from repro.service.api import ServiceAPI
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.jobs import JOB_KINDS, Job, JobSpec, JobStore, execute
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.pool import WorkerPool
+from repro.service.store import TraceStore
+
+__all__ = [
+    "ServiceAPI",
+    "ServiceClient",
+    "ResultCache",
+    "TraceStore",
+    "WorkerPool",
+    "JobStore",
+    "Job",
+    "JobSpec",
+    "JOB_KINDS",
+    "execute",
+    "ServiceMetrics",
+    "LatencyHistogram",
+]

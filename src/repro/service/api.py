@@ -1,0 +1,222 @@
+"""Transport-independent API core: routing, schemas, and orchestration.
+
+:class:`ServiceAPI` owns every service component (store, cache, job
+store, pool, metrics) and maps ``(method, path, body)`` requests onto
+them, returning ``(status, payload)`` pairs.  The HTTP layer in
+:mod:`repro.service.server` is a thin bridge over :meth:`handle`; tests
+can drive the full service in-process through the same method without a
+socket in sight.
+
+Endpoints::
+
+    POST /traces            raw trace bytes (.clt or .jsonl)  -> 201 {digest,...}
+    GET  /traces            -> {traces: [...]}
+    GET  /traces/<digest>   -> stored-trace metadata
+    POST /jobs              {"kind","trace"|"traces","params"} -> 202 {id,state,...}
+    GET  /jobs              -> {jobs: [...]}
+    GET  /jobs/<id>         -> job status (no result payload)
+    GET  /reports/<id>      -> finished job's result (409 while pending)
+    GET  /metrics           -> queue/cache/latency self-observation
+    GET  /healthz           -> {ok: true}
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.service.cache import ResultCache
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobSpec, JobStore
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import DEFAULT_START_METHOD, WorkerPool
+from repro.service.store import TraceStore
+
+__all__ = ["ServiceAPI"]
+
+
+class ServiceAPI:
+    """The analysis service, sans transport."""
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        workers: int = 2,
+        cache_capacity: int = 256,
+        start_method: str = DEFAULT_START_METHOD,
+    ):
+        self.data_dir = Path(data_dir)
+        self.store = TraceStore(self.data_dir / "traces")
+        self.cache = ResultCache(
+            capacity=cache_capacity, disk_dir=self.data_dir / "cache"
+        )
+        self.jobs = JobStore()
+        self.metrics = ServiceMetrics()
+        self._cache_keys: dict[str, str] = {}  # job id -> cache key
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self.pool = WorkerPool(
+            workers=workers, on_event=self._on_pool_event, start_method=start_method
+        )
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- request dispatch -----------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: bytes = b"", query: dict | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one request; never raises for client-visible errors."""
+        self.metrics.count_request()
+        query = query or {}
+        parts = [p for p in path.split("/") if p]
+        try:
+            return self._route(method.upper(), parts, body, query)
+        except ServiceError as exc:
+            return exc.status, {"error": str(exc)}
+
+    def _route(
+        self, method: str, parts: list[str], body: bytes, query: dict
+    ) -> tuple[int, dict[str, Any]]:
+        import json
+
+        match (method, parts):
+            case ("POST", ["traces"]):
+                entry = self.store.put_bytes(body, name=query.get("name"))
+                return 201, entry.to_dict()
+            case ("GET", ["traces"]):
+                return 200, {"traces": [e.to_dict() for e in self.store.list()]}
+            case ("GET", ["traces", digest]):
+                return 200, self.store.get(digest).to_dict()
+            case ("POST", ["jobs"]):
+                try:
+                    req = json.loads(body or b"{}")
+                except json.JSONDecodeError as exc:
+                    raise ServiceError(f"request body is not JSON: {exc}") from exc
+                return 202, self.submit_job(req)
+            case ("GET", ["jobs"]):
+                return 200, {"jobs": [j.to_dict() for j in self.jobs.list()]}
+            case ("GET", ["jobs", job_id]):
+                return 200, self.jobs.get(job_id).to_dict()
+            case ("GET", ["reports", job_id]):
+                return self._get_report(job_id)
+            case ("GET", ["metrics"]):
+                return 200, self.snapshot_metrics()
+            case ("GET", ["healthz"]):
+                return 200, {"ok": True, "workers": self.pool.workers}
+            case _:
+                raise ServiceError(
+                    f"no route for {method} /{'/'.join(parts)}", status=404
+                )
+
+    # -- job orchestration ----------------------------------------------------
+
+    def submit_job(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Create a job from a request dict; may finish instantly on cache hit."""
+        if not isinstance(req, dict):
+            raise ServiceError("job request must be a JSON object")
+        kind = req.get("kind")
+        if not isinstance(kind, str):
+            raise ServiceError("job request needs a string 'kind'")
+        digests = req.get("traces", [])
+        if "trace" in req:
+            digests = [req["trace"], *digests]
+        if not isinstance(digests, (list, tuple)):
+            raise ServiceError("'traces' must be a list of digests")
+        params = req.get("params", {})
+        if not isinstance(params, dict):
+            raise ServiceError("'params' must be an object")
+
+        spec = JobSpec(kind=kind, digests=tuple(digests), params=params)
+        paths = self.store.resolve(spec.digests)  # 404s before queuing
+        job = self.jobs.create(spec)
+        self.metrics.count_submitted(kind)
+
+        key = spec.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.jobs.mark_done(job.id, cached, cached=True)
+            self.metrics.count_cached(kind)
+            with self._done:
+                self._done.notify_all()
+            return self.jobs.get(job.id).to_dict()
+
+        with self._lock:
+            self._cache_keys[job.id] = key
+        self.pool.submit(job.id, spec.kind, paths, spec.params)
+        return self.jobs.get(job.id).to_dict()
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> dict[str, Any]:
+        """Block until a job finishes (in-process convenience; HTTP polls)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._done:
+            while True:
+                job = self.jobs.get(job_id)
+                if job.state in (DONE, FAILED):
+                    return job.to_dict(include_result=True)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"timed out waiting for job {job_id}", status=504
+                    )
+                self._done.wait(timeout=remaining)
+
+    def _get_report(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        job = self.jobs.get(job_id)
+        if job.state == FAILED:
+            return 500, {"id": job.id, "state": job.state, "error": job.error}
+        if job.state != DONE:
+            return 409, {
+                "id": job.id,
+                "state": job.state,
+                "error": "job not finished; poll GET /jobs/<id>",
+            }
+        return 200, {"id": job.id, "kind": job.spec.kind, "cached": job.cached,
+                     "result": job.result}
+
+    def snapshot_metrics(self) -> dict[str, Any]:
+        out = self.metrics.to_dict()
+        out["queue"] = {
+            "queued": self.jobs.count(QUEUED),
+            "running": self.jobs.count(RUNNING),
+            "pending": self.pool.pending,
+            "workers": self.pool.workers,
+            "worker_restarts": self.pool.restarts,
+        }
+        out["cache"] = self.cache.stats()
+        out["traces"] = self.store.stats()
+        return out
+
+    # -- pool event sink (collector thread) ------------------------------------
+
+    def _on_pool_event(self, event: str, job_id: str, payload: Any) -> None:
+        if event == "start":
+            self.jobs.mark_running(job_id)
+            return
+        if event == "done":
+            job = self.jobs.mark_done(job_id, payload)
+            if job is not None:
+                with self._lock:
+                    key = self._cache_keys.pop(job_id, None)
+                if key is not None:
+                    self.cache.put(key, payload)
+                if job.latency is not None:
+                    self.metrics.count_completed(job.spec.kind, job.latency)
+        else:  # error / crashed
+            job = self.jobs.mark_failed(job_id, str(payload))
+            if job is not None:
+                self.metrics.count_failed(job.spec.kind)
+            with self._lock:
+                self._cache_keys.pop(job_id, None)
+        with self._done:
+            self._done.notify_all()

@@ -1,0 +1,132 @@
+"""Content-addressed result cache: bounded LRU in memory, spill to disk.
+
+Keys are the job's :meth:`~repro.service.jobs.JobSpec.cache_key` — a
+sha256 over (trace digests, analysis kind, canonical params) — so a hit
+is only possible for byte-identical questions about content-identical
+traces.  Values are finished report dicts (JSON-serializable by
+construction), which is what makes the disk tier trivial: evicted
+entries are written as ``<key>.json`` and promoted back on access.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ServiceError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU of analysis results with an optional disk tier."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        disk_dir: str | Path | None = None,
+        disk_capacity: int = 4096,
+    ):
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.disk_capacity = disk_capacity
+        self._dir = Path(disk_dir) if disk_dir is not None else None
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self._mem: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> dict | None:
+        """Look a key up; promotes hits to most-recently-used."""
+        with self._lock:
+            value = self._mem.get(key)
+            if value is not None:
+                self._mem.move_to_end(key)
+                self.hits += 1
+                return value
+            value = self._disk_load(key)
+            if value is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._insert(key, value)  # promote back into memory
+                return value
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value: dict[str, Any]) -> None:
+        with self._lock:
+            self._insert(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._mem or self._disk_path_if_exists(key) is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._mem),
+                "capacity": self.capacity,
+                "disk_entries": self._disk_count(),
+                "hits": self.hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }
+
+    # -- internals (callers hold self._lock) --------------------------------
+
+    def _insert(self, key: str, value: dict) -> None:
+        self._mem[key] = value
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.capacity:
+            old_key, old_value = self._mem.popitem(last=False)
+            self.evictions += 1
+            self._disk_store(old_key, old_value)
+
+    def _disk_path(self, key: str) -> Path:
+        return self._dir / f"{key}.json"
+
+    def _disk_path_if_exists(self, key: str) -> Path | None:
+        if self._dir is None:
+            return None
+        path = self._disk_path(key)
+        return path if path.exists() else None
+
+    def _disk_load(self, key: str) -> dict | None:
+        path = self._disk_path_if_exists(key)
+        if path is None:
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            # A torn write (crash mid-spill) must read as a miss, not an error.
+            return None
+
+    def _disk_store(self, key: str, value: dict) -> None:
+        if self._dir is None:
+            return
+        tmp = self._disk_path(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(value), encoding="utf-8")
+        tmp.replace(self._disk_path(key))
+        files = sorted(self._dir.glob("*.json"), key=lambda p: p.stat().st_mtime)
+        while len(files) > self.disk_capacity:
+            files.pop(0).unlink(missing_ok=True)
+
+    def _disk_count(self) -> int:
+        if self._dir is None:
+            return 0
+        return sum(1 for _ in self._dir.glob("*.json"))

@@ -1,0 +1,149 @@
+"""HTTP client for the analysis service (urllib only, no dependencies).
+
+Used by the end-to-end tests, ``examples/service_client.py`` and any
+script that wants remote analysis with local-call ergonomics::
+
+    client = ServiceClient("http://127.0.0.1:8323")
+    digest = client.upload_trace("rad.clt")
+    report = client.analyze(digest)
+    print(report["critical_locks"][0])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.trace.trace import Trace
+from repro.trace.writer import write_trace
+
+__all__ = ["ServiceClient"]
+
+_TERMINAL = ("done", "failed")
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP wrapper around the service endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> dict[str, Any]:
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": content_type} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                detail = exc.reason
+            raise ServiceError(
+                f"{method} {path} -> HTTP {exc.code}: {detail}", status=exc.code
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}", status=503
+            ) from exc
+
+    def _get(self, path: str) -> dict[str, Any]:
+        return self._request("GET", path)
+
+    def _post_json(self, path: str, payload: dict) -> dict[str, Any]:
+        return self._request("POST", path, json.dumps(payload).encode("utf-8"))
+
+    # -- traces -------------------------------------------------------------
+
+    def upload_trace(self, trace: Trace | str | Path, name: str | None = None) -> str:
+        """Upload a trace (object or file path); returns its content digest."""
+        if isinstance(trace, Trace):
+            import tempfile
+
+            with tempfile.TemporaryDirectory() as tmp:
+                path = Path(tmp) / "upload.clt"
+                write_trace(trace, path)
+                data = path.read_bytes()
+        else:
+            data = Path(trace).read_bytes()
+            if name is None:
+                name = Path(trace).stem
+        suffix = f"?name={name}" if name else ""
+        entry = self._request(
+            "POST", f"/traces{suffix}", data, content_type="application/octet-stream"
+        )
+        return entry["digest"]
+
+    def traces(self) -> list[dict[str, Any]]:
+        return self._get("/traces")["traces"]
+
+    # -- jobs ---------------------------------------------------------------
+
+    def submit(
+        self, kind: str, traces: list[str] | str, params: dict | None = None
+    ) -> str:
+        """Submit a job over already-uploaded digests; returns the job id."""
+        if isinstance(traces, str):
+            traces = [traces]
+        job = self._post_json(
+            "/jobs", {"kind": kind, "traces": traces, "params": params or {}}
+        )
+        return job["id"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._get(f"/jobs/{job_id}")
+
+    def report(self, job_id: str) -> dict[str, Any]:
+        return self._get(f"/reports/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict:
+        """Poll until the job finishes; returns the result dict."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in _TERMINAL:
+                break
+            if time.monotonic() > deadline:
+                raise ServiceError(f"timed out waiting for job {job_id}", status=504)
+            time.sleep(poll)
+        if job["state"] == "failed":
+            raise ServiceError(f"job {job_id} failed: {job['error']}", status=500)
+        return self.report(job_id)["result"]
+
+    # -- one-call conveniences ----------------------------------------------
+
+    def analyze(self, digest: str, **params) -> dict[str, Any]:
+        return self.wait(self.submit("analyze", digest, params))
+
+    def whatif(self, digest: str, lock: str, factor: float = 0.0, **params) -> dict:
+        params = {"lock": lock, "factor": factor, **params}
+        return self.wait(self.submit("whatif", digest, params))
+
+    def compare(self, before: str, after: str, **params) -> dict[str, Any]:
+        return self.wait(self.submit("compare", [before, after], params))
+
+    def forecast(self, digest: str, **params) -> dict[str, Any]:
+        return self.wait(self.submit("forecast", digest, params))
+
+    # -- operational --------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        return self._get("/metrics")
+
+    def health(self) -> dict[str, Any]:
+        return self._get("/healthz")

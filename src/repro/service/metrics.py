@@ -1,0 +1,116 @@
+"""Service self-observation: counters and latency histograms.
+
+The analyzer's whole thesis is that you diagnose a system by measuring
+where its time actually goes — the service applies that to itself.
+``GET /metrics`` exposes queue depth, per-kind job counts, cache hit
+rate and per-kind latency histograms built here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+#: Log-spaced upper bounds in seconds (last bucket is +inf).
+_DEFAULT_BOUNDS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (Prometheus-style, cumulative-free)."""
+
+    def __init__(self, bounds: tuple[float, ...] = _DEFAULT_BOUNDS):
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.total += 1
+        self.sum += seconds
+        self.max = max(self.max, seconds)
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper bound of the bucket holding rank q."""
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def to_dict(self) -> dict[str, Any]:
+        buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
+        buckets["le_inf"] = self.counts[-1]
+        return {
+            "count": self.total,
+            "sum": self.sum,
+            "mean": (self.sum / self.total) if self.total else 0.0,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters + per-kind latency histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.submitted: dict[str, int] = {}
+        self.completed: dict[str, int] = {}
+        self.failed: dict[str, int] = {}
+        self.cache_short_circuits = 0  # jobs answered at submit time
+        self.requests = 0
+        self._latency: dict[str, LatencyHistogram] = {}
+
+    def count_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def count_submitted(self, kind: str) -> None:
+        with self._lock:
+            self.submitted[kind] = self.submitted.get(kind, 0) + 1
+
+    def count_cached(self, kind: str) -> None:
+        with self._lock:
+            self.cache_short_circuits += 1
+
+    def count_completed(self, kind: str, latency: float) -> None:
+        with self._lock:
+            self.completed[kind] = self.completed.get(kind, 0) + 1
+            self._latency.setdefault(kind, LatencyHistogram()).observe(latency)
+
+    def count_failed(self, kind: str) -> None:
+        with self._lock:
+            self.failed[kind] = self.failed.get(kind, 0) + 1
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "uptime": time.time() - self.started_at,
+                "requests": self.requests,
+                "jobs": {
+                    "submitted": dict(self.submitted),
+                    "completed": dict(self.completed),
+                    "failed": dict(self.failed),
+                    "cache_short_circuits": self.cache_short_circuits,
+                },
+                "latency": {k: h.to_dict() for k, h in self._latency.items()},
+            }

@@ -1,0 +1,131 @@
+"""Stdlib HTTP/JSON transport over :class:`~repro.service.api.ServiceAPI`.
+
+A :class:`ThreadingHTTPServer` keeps request handling off the worker
+pool entirely: handler threads only parse/serialize JSON and touch
+thread-safe service state, while the CPU-heavy analysis runs in worker
+*processes*.  One service instance therefore overlaps network I/O,
+bookkeeping and N analyses at once.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.service.api import ServiceAPI
+from repro.service.pool import DEFAULT_START_METHOD
+
+__all__ = ["ServiceHTTPServer", "make_server", "serve"]
+
+log = logging.getLogger("repro.service")
+
+#: Uploads beyond this are rejected before buffering (64 MiB of trace).
+MAX_BODY_BYTES = 64 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "critical-lock-analysis"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def api(self) -> ServiceAPI:
+        return self.server.api  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:  # quiet by default
+        log.debug("%s - %s", self.address_string(), fmt % args)
+
+    def _dispatch(self, method: str) -> None:
+        url = urlsplit(self.path)
+        query = dict(parse_qsl(url.query))
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length > MAX_BODY_BYTES:
+            self._reply(413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"})
+            return
+        body = self.rfile.read(length) if length else b""
+        try:
+            status, payload = self.api.handle(method, url.path, body, query)
+        except Exception as exc:  # noqa: BLE001 — transport must answer something
+            log.exception("unhandled error for %s %s", method, url.path)
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        self._reply(status, payload)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`ServiceAPI` instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], api: ServiceAPI):
+        super().__init__(address, _Handler)
+        self.api = api
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.api.close()
+
+
+def make_server(
+    api: ServiceAPI, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind (port 0 = ephemeral) without starting the serve loop."""
+    return ServiceHTTPServer((host, port), api)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8323,
+    data_dir: str | Path = ".cla-service",
+    workers: int = 2,
+    cache_capacity: int = 256,
+    start_method: str = DEFAULT_START_METHOD,
+) -> int:
+    """Run the analysis service until interrupted (CLI entry point)."""
+    api = ServiceAPI(
+        data_dir=data_dir,
+        workers=workers,
+        cache_capacity=cache_capacity,
+        start_method=start_method,
+    )
+    server = make_server(api, host, port)
+    print(
+        f"critical-lock-analysis service on {server.url} "
+        f"({workers} worker process(es), data in {Path(data_dir).resolve()})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        api.close()
+    return 0

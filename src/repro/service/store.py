@@ -1,0 +1,151 @@
+"""Content-addressed trace storage for the analysis service.
+
+Uploaded traces are parsed (any supported container format), digested
+with :func:`repro.trace.digest.trace_digest` — a *content* hash, so the
+same execution uploaded as ``.clt`` and ``.jsonl`` deduplicates — and
+persisted once in canonical binary form as ``<digest>.clt`` with a
+``<digest>.meta.json`` sidecar.  Restarting the service rebuilds the
+index from the sidecars; worker processes receive plain file paths.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ServiceError, TraceError
+from repro.trace.digest import trace_digest
+from repro.trace.reader import read_trace
+from repro.trace.trace import Trace
+from repro.trace.writer import write_trace
+
+__all__ = ["TraceStore", "StoredTrace"]
+
+
+@dataclass(frozen=True)
+class StoredTrace:
+    """Index entry for one stored trace."""
+
+    digest: str
+    path: Path
+    name: str
+    nevents: int
+    nthreads: int
+    duration: float
+    size_bytes: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "name": self.name,
+            "nevents": self.nevents,
+            "nthreads": self.nthreads,
+            "duration": self.duration,
+            "size_bytes": self.size_bytes,
+        }
+
+
+class TraceStore:
+    """Digest-keyed trace files under one root directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index: dict[str, StoredTrace] = {}
+        self._lock = threading.Lock()
+        self._rescan()
+
+    # -- writes --------------------------------------------------------------
+
+    def put_trace(self, trace: Trace, name: str | None = None) -> StoredTrace:
+        """Store an in-memory trace; returns the (possibly existing) entry."""
+        digest = trace_digest(trace)
+        with self._lock:
+            existing = self._index.get(digest)
+            if existing is not None:
+                return existing
+            path = self.root / f"{digest}.clt"
+            write_trace(trace, path)
+            entry = StoredTrace(
+                digest=digest,
+                path=path,
+                name=name or str(trace.meta.get("name", "")),
+                nevents=len(trace),
+                nthreads=len(trace.threads),
+                duration=trace.duration,
+                size_bytes=path.stat().st_size,
+            )
+            self._write_sidecar(entry)
+            self._index[digest] = entry
+            return entry
+
+    def put_bytes(self, data: bytes, name: str | None = None) -> StoredTrace:
+        """Store an uploaded trace blob (either supported format)."""
+        if not data:
+            raise ServiceError("empty upload is not a trace", status=400)
+        tmp = self.root / f".upload-{threading.get_ident()}.tmp"
+        try:
+            tmp.write_bytes(data)
+            try:
+                trace = read_trace(tmp)
+            except TraceError as exc:
+                raise ServiceError(f"unparseable trace upload: {exc}", status=400) from exc
+            return self.put_trace(trace, name=name)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def put_file(self, path: str | Path, name: str | None = None) -> StoredTrace:
+        """Store a trace file already on local disk (CLI convenience)."""
+        trace = read_trace(path)
+        return self.put_trace(trace, name=name or Path(path).stem)
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, digest: str) -> StoredTrace:
+        with self._lock:
+            entry = self._index.get(digest)
+        if entry is None:
+            raise ServiceError(f"no such trace: {digest}", status=404)
+        return entry
+
+    def resolve(self, digests: list[str] | tuple[str, ...]) -> list[str]:
+        """Digests -> worker-ready file paths (404s on any unknown digest)."""
+        return [str(self.get(d).path) for d in digests]
+
+    def list(self) -> list[StoredTrace]:
+        with self._lock:
+            return sorted(self._index.values(), key=lambda e: e.digest)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "count": len(self._index),
+                "bytes": sum(e.size_bytes for e in self._index.values()),
+            }
+
+    # -- persistence ---------------------------------------------------------
+
+    def _sidecar(self, digest: str) -> Path:
+        return self.root / f"{digest}.meta.json"
+
+    def _write_sidecar(self, entry: StoredTrace) -> None:
+        blob = entry.to_dict()
+        self._sidecar(entry.digest).write_text(json.dumps(blob), encoding="utf-8")
+
+    def _rescan(self) -> None:
+        for sidecar in self.root.glob("*.meta.json"):
+            try:
+                blob = json.loads(sidecar.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            path = self.root / f"{blob['digest']}.clt"
+            if not path.exists():
+                continue
+            self._index[blob["digest"]] = StoredTrace(path=path, **blob)

@@ -9,6 +9,7 @@ the analysis module (:mod:`repro.core`) consumes it.
 from repro.trace.events import Event, EventType, ObjectKind
 from repro.trace.trace import ObjectInfo, Trace
 from repro.trace.builder import TraceBuilder
+from repro.trace.digest import file_digest, trace_digest
 from repro.trace.merge import merge_traces
 from repro.trace.reader import read_trace
 from repro.trace.stats import TraceStats, compute_trace_stats
@@ -31,4 +32,6 @@ __all__ = [
     "compute_trace_stats",
     "write_trace",
     "validate_trace",
+    "trace_digest",
+    "file_digest",
 ]

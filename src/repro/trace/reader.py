@@ -31,6 +31,14 @@ def read_trace(path: str | Path) -> Trace:
         head = fh.read(len(MAGIC))
     if head == MAGIC:
         return _read_binary(path)
+    if not head:
+        raise TraceFormatError(f"{path}: empty file is not a trace")
+    if len(head) < len(MAGIC):
+        # Too short for the binary magic, and a JSONL trace needs at
+        # least its header line — nothing valid is this small.
+        raise TraceFormatError(
+            f"{path}: file too short ({len(head)} bytes) to be a trace"
+        )
     return _read_jsonl(path)
 
 
@@ -69,31 +77,38 @@ def _read_binary(path: Path) -> Trace:
 def _read_jsonl(path: Path) -> Trace:
     events: list[Event] = []
     header = None
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceFormatError(f"{path}:{lineno}: not JSON: {exc}") from exc
-            if "header" in obj:
-                header = obj["header"]
-                continue
-            try:
-                events.append(
-                    Event(
-                        seq=int(obj["seq"]),
-                        time=float(obj["time"]),
-                        tid=int(obj["tid"]),
-                        etype=EventType[obj["etype"]],
-                        obj=int(obj.get("obj", -1)),
-                        arg=int(obj.get("arg", 0)),
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(f"{path}:{lineno}: not JSON: {exc}") from exc
+                if "header" in obj:
+                    header = obj["header"]
+                    continue
+                try:
+                    events.append(
+                        Event(
+                            seq=int(obj["seq"]),
+                            time=float(obj["time"]),
+                            tid=int(obj["tid"]),
+                            etype=EventType[obj["etype"]],
+                            obj=int(obj.get("obj", -1)),
+                            arg=int(obj.get("arg", 0)),
+                        )
                     )
-                )
-            except (KeyError, ValueError) as exc:
-                raise TraceFormatError(f"{path}:{lineno}: bad event record: {exc}") from exc
+                except (KeyError, ValueError) as exc:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: bad event record: {exc}"
+                    ) from exc
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(
+            f"{path}: neither a binary .clt trace (bad magic) nor UTF-8 JSONL: {exc}"
+        ) from exc
     if header is None:
         raise TraceFormatError(f"{path}: missing JSONL header line")
     return Trace.from_events(

@@ -83,3 +83,21 @@ def test_run_with_cores(capsys):
     assert main(["run", "micro", "-t", "4", "--cores", "1"]) == 0
     out = capsys.readouterr().out
     assert "completion time" in out
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["--version"])
+    assert ei.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("critical-lock-analysis ")
+    assert out.split()[-1][0].isdigit()  # ends with a version number
+
+
+def test_serve_subcommand_registered(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["serve", "--help"])
+    assert ei.value.code == 0
+    out = capsys.readouterr().out
+    assert "--workers" in out
+    assert "--data-dir" in out

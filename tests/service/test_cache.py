@@ -1,0 +1,66 @@
+"""Result cache: LRU semantics, disk spill, stats."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.cache import ResultCache
+
+
+def test_put_get_roundtrip():
+    cache = ResultCache(capacity=4)
+    cache.put("k1", {"x": 1})
+    assert cache.get("k1") == {"x": 1}
+    assert cache.get("missing") is None
+
+
+def test_hit_miss_counters():
+    cache = ResultCache(capacity=4)
+    cache.put("k", {"v": 0})
+    cache.get("k")
+    cache.get("k")
+    cache.get("nope")
+    stats = cache.stats()
+    assert stats["hits"] == 2
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.put("a", {"n": 1})
+    cache.put("b", {"n": 2})
+    cache.get("a")  # 'a' is now most recently used
+    cache.put("c", {"n": 3})  # evicts 'b'
+    assert len(cache) == 2
+    assert cache.get("a") == {"n": 1}
+    assert cache.get("b") is None  # no disk tier: gone
+    assert cache.stats()["evictions"] == 1
+
+
+def test_disk_spill_and_promote(tmp_path):
+    cache = ResultCache(capacity=1, disk_dir=tmp_path)
+    cache.put("a", {"n": 1})
+    cache.put("b", {"n": 2})  # evicts 'a' to disk
+    assert (tmp_path / "a.json").exists()
+    assert cache.get("a") == {"n": 1}  # disk hit, promoted back
+    stats = cache.stats()
+    assert stats["disk_hits"] == 1
+    assert stats["hits"] == 1
+
+
+def test_disk_capacity_bound(tmp_path):
+    cache = ResultCache(capacity=1, disk_dir=tmp_path, disk_capacity=2)
+    for i in range(6):
+        cache.put(f"k{i}", {"n": i})
+    assert cache._disk_count() <= 2
+
+
+def test_torn_disk_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(capacity=1, disk_dir=tmp_path)
+    (tmp_path / "bad.json").write_text("{truncated")
+    assert cache.get("bad") is None
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ServiceError, match="capacity"):
+        ResultCache(capacity=0)

@@ -1,0 +1,117 @@
+"""End-to-end over real HTTP: server thread + worker process + client.
+
+One module-scoped server (1 spawn worker) carries all tests; each test
+uses distinct params so cache state never couples them unless the test
+is *about* the cache.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.errors import ServiceError
+from repro.service import ServiceAPI, ServiceClient
+from repro.service.server import make_server
+from repro.trace import write_trace
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    api = ServiceAPI(tmp_path_factory.mktemp("svc"), workers=1)
+    srv = make_server(api, "127.0.0.1", 0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    api.close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)
+
+
+@pytest.fixture(scope="module")
+def micro():
+    from repro.workloads import get_workload
+
+    return get_workload("micro")().run(nthreads=4, seed=1).trace
+
+
+@pytest.fixture(scope="module")
+def digest(client, micro, tmp_path_factory):
+    path = write_trace(micro, tmp_path_factory.mktemp("up") / "micro.clt")
+    return client.upload_trace(path, name="micro")
+
+
+def test_health_and_version_header(client):
+    assert client.health()["ok"]
+
+
+def test_upload_lists_trace(client, digest):
+    entries = client.traces()
+    assert any(e["digest"] == digest and e["name"] == "micro" for e in entries)
+
+
+def test_analyze_over_http_matches_in_process(client, micro, digest):
+    """The satellite's flagship check: HTTP ranking == in-process ranking."""
+    result = client.analyze(digest, top=4)
+    expected = analyze(micro).report.to_dict()
+    assert result["locks"] == expected["locks"]
+    ranked = [lock["name"] for lock in result["critical_locks"]]
+    expected_rank = sorted(
+        expected["locks"], key=lambda n: expected["locks"][n]["cp_time_frac"],
+        reverse=True,
+    )
+    assert ranked == expected_rank[:4]
+
+
+def test_cache_hit_over_http(client, digest):
+    before = client.metrics()["cache"]["hits"]
+    client.analyze(digest, top=7)   # cold
+    again = client.submit("analyze", digest, {"top": 7})  # warm
+    job = client.job(again)
+    assert job["cached"] and job["state"] == "done"
+    assert client.metrics()["cache"]["hits"] == before + 1
+
+
+def test_whatif_and_forecast_kinds(client, digest):
+    whatif = client.whatif(digest, "L2", factor=0.6)
+    assert whatif["predicted_speedup"] == pytest.approx(1.263, abs=1e-3)
+    forecast = client.forecast(digest)
+    assert forecast["locks"][0]["name"] == "L2"
+
+
+def test_compare_kind(client, digest):
+    result = client.compare(digest, digest)
+    assert result["speedup"] == pytest.approx(1.0)
+
+
+def test_job_failure_surfaces_error(client, digest):
+    job_id = client.submit("whatif", digest, {"lock": "NOT-A-LOCK"})
+    with pytest.raises(ServiceError, match="failed"):
+        client.wait(job_id, timeout=60)
+
+
+def test_unknown_trace_is_client_error(client):
+    with pytest.raises(ServiceError) as ei:
+        client.submit("analyze", "0" * 64)
+    assert ei.value.status == 404
+
+
+def test_bad_kind_is_client_error(client, digest):
+    with pytest.raises(ServiceError) as ei:
+        client.submit("frobnicate", digest)
+    assert ei.value.status == 400
+
+
+def test_metrics_expose_latency_histogram(client, digest):
+    client.analyze(digest, top=9)
+    m = client.metrics()
+    hist = m["latency"]["analyze"]
+    assert hist["count"] >= 1
+    assert hist["sum"] > 0
+    assert m["queue"]["workers"] == 1

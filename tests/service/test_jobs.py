@@ -1,0 +1,105 @@
+"""Job model, JobStore, and the picklable execute() facade."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.errors import ServiceError
+from repro.service.jobs import JobSpec, JobStore, execute
+from repro.trace import write_trace
+
+
+@pytest.fixture
+def micro_path(micro_trace, tmp_path):
+    return str(write_trace(micro_trace, tmp_path / "micro.clt"))
+
+
+class TestJobSpec:
+    def test_cache_key_is_deterministic(self):
+        a = JobSpec("analyze", ("d1",), {"top": 5})
+        b = JobSpec("analyze", ("d1",), {"top": 5})
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_separates_kind_params_traces(self):
+        base = JobSpec("analyze", ("d1",), {}).cache_key()
+        assert JobSpec("forecast", ("d1",), {}).cache_key() != base
+        assert JobSpec("analyze", ("d2",), {}).cache_key() != base
+        assert JobSpec("analyze", ("d1",), {"top": 3}).cache_key() != base
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            JobSpec("frobnicate", ("d1",), {})
+
+    def test_arity_enforced(self):
+        with pytest.raises(ServiceError, match="takes 2 trace"):
+            JobSpec("compare", ("d1",), {})
+        with pytest.raises(ServiceError, match="takes 1 trace"):
+            JobSpec("analyze", ("d1", "d2"), {})
+
+
+class TestJobStore:
+    def test_lifecycle(self):
+        store = JobStore()
+        job = store.create(JobSpec("selftest", (), {}))
+        assert job.state == "queued"
+        store.mark_running(job.id)
+        assert store.get(job.id).state == "running"
+        store.mark_done(job.id, {"ok": True})
+        done = store.get(job.id)
+        assert done.state == "done"
+        assert done.latency is not None
+        assert done.to_dict()["state"] == "done"
+        assert "result" not in done.to_dict()
+        assert done.to_dict(include_result=True)["result"] == {"ok": True}
+
+    def test_unknown_job_404(self):
+        with pytest.raises(ServiceError, match="no such job") as ei:
+            JobStore().get("nope")
+        assert ei.value.status == 404
+
+    def test_history_trims_finished_not_active(self):
+        store = JobStore(max_finished=2)
+        keep = store.create(JobSpec("selftest", (), {"i": -1}))  # stays queued
+        done = [store.create(JobSpec("selftest", (), {"i": i})) for i in range(4)]
+        for job in done:
+            store.mark_done(job.id, {})
+        assert store.get(keep.id).state == "queued"
+        assert len(store.list()) <= 3  # 2 finished + the queued one
+
+
+class TestExecute:
+    def test_analyze_matches_in_process(self, micro_trace, micro_path):
+        out = execute("analyze", [micro_path], {})
+        expected = analyze(micro_trace).report.to_dict()
+        assert out["locks"] == expected["locks"]
+        assert out["critical_locks"][0]["name"] == "L2"
+
+    def test_whatif(self, micro_path):
+        out = execute("whatif", [micro_path], {"lock": "L2", "factor": 0.6})
+        assert out["predicted_speedup"] == pytest.approx(1.263, abs=1e-3)
+
+    def test_whatif_requires_lock(self, micro_path):
+        with pytest.raises(ServiceError, match="params.lock"):
+            execute("whatif", [micro_path], {})
+
+    def test_compare_identical_traces(self, micro_path):
+        out = execute("compare", [micro_path, micro_path], {})
+        assert out["speedup"] == pytest.approx(1.0)
+
+    def test_forecast(self, micro_path):
+        out = execute("forecast", [micro_path], {"thread_counts": [8, 64]})
+        assert out["locks"][0]["name"] == "L2"
+        assert set(out["completion_time"]) == {"8", "64"}
+
+    def test_unknown_kind(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            execute("nope", [], {})
+
+    def test_results_are_json_serializable(self, micro_path):
+        import json
+
+        for kind, params in [
+            ("analyze", {}),
+            ("whatif", {"lock": "L1"}),
+            ("forecast", {}),
+        ]:
+            json.dumps(execute(kind, [micro_path], params))

@@ -1,0 +1,35 @@
+"""Content-addressed trace digests."""
+
+from repro.trace import read_trace, trace_digest, write_trace
+from repro.trace.digest import file_digest
+
+
+def test_digest_is_stable(micro_trace):
+    assert trace_digest(micro_trace) == trace_digest(micro_trace)
+    assert len(trace_digest(micro_trace)) == 64
+
+
+def test_digest_survives_roundtrip(micro_trace, tmp_path):
+    path = write_trace(micro_trace, tmp_path / "t.clt")
+    assert trace_digest(read_trace(path)) == trace_digest(micro_trace)
+
+
+def test_digest_is_format_invariant(micro_trace, tmp_path):
+    """Same execution uploaded as .clt and .jsonl must address identically."""
+    clt = read_trace(write_trace(micro_trace, tmp_path / "t.clt"))
+    jsonl = read_trace(write_trace(micro_trace, tmp_path / "t.jsonl"))
+    assert trace_digest(clt) == trace_digest(jsonl)
+
+
+def test_digest_distinguishes_traces(micro_trace, handoff_trace):
+    assert trace_digest(micro_trace) != trace_digest(handoff_trace)
+
+
+def test_file_digest_is_byte_level(tmp_path):
+    a = tmp_path / "a.bin"
+    b = tmp_path / "b.bin"
+    a.write_bytes(b"hello")
+    b.write_bytes(b"hello")
+    assert file_digest(a) == file_digest(b)
+    b.write_bytes(b"hello!")
+    assert file_digest(a) != file_digest(b)

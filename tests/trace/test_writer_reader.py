@@ -47,10 +47,10 @@ class TestBinaryFormat:
         with pytest.raises(TraceFormatError, match="corrupt header"):
             read_trace(path)
 
-    def test_empty_file_treated_as_jsonl_and_rejected(self, tmp_path):
+    def test_empty_file_rejected_with_clear_error(self, tmp_path):
         path = tmp_path / "t.clt"
         path.write_bytes(b"")
-        with pytest.raises(TraceFormatError, match="missing JSONL header"):
+        with pytest.raises(TraceFormatError, match="empty file"):
             read_trace(path)
 
 
@@ -85,3 +85,31 @@ def test_metadata_preserved(micro_trace, tmp_path):
     assert trace.meta["name"] == "micro"
     assert trace.objects[0].name == "L1"
     assert trace.threads[0] == "worker-0"
+
+
+class TestFormatSniffing:
+    """Degenerate files must fail with TraceFormatError, not raw decode errors."""
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.clt"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="empty file"):
+            read_trace(path)
+
+    def test_file_shorter_than_magic(self, tmp_path):
+        path = tmp_path / "tiny.clt"
+        path.write_bytes(b"CLT")
+        with pytest.raises(TraceFormatError, match="too short"):
+            read_trace(path)
+
+    def test_binary_garbage(self, tmp_path):
+        path = tmp_path / "garbage.clt"
+        path.write_bytes(bytes(range(200, 256)) * 4)
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_text_garbage(self, tmp_path):
+        path = tmp_path / "notes.jsonl"
+        path.write_text("this is not a trace at all\n")
+        with pytest.raises(TraceFormatError, match="not JSON"):
+            read_trace(path)
