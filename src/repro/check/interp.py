@@ -1,0 +1,151 @@
+"""Execute a :class:`~repro.check.spec.ProgramSpec` on the simulator.
+
+The interpreter maps the op grammar onto :class:`repro.sim.Program`
+primitives.  Two composites deserve a note:
+
+* **channels** are condition-variable token queues: a mutex, a condvar
+  and an integer counter.  ``produce`` increments the counter under the
+  mutex and signals (or broadcasts); ``consume`` cond-waits until the
+  counter is positive.  Because producers signal *after* releasing the
+  mutex and consumers gate on the counter, tokens are never lost.
+* **children** spawned by ``spawn`` ops are joined implicitly at the end
+  of the spawning thread, after all its other ops — so a spawn inside a
+  lock body never makes the holder block on its child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.check.spec import ProgramSpec
+from repro.errors import CheckError
+from repro.sim.engine import SimResult
+from repro.sim.program import Program
+
+__all__ = ["build_program", "run_spec"]
+
+
+class _Channel:
+    """A condvar-gated token queue (see module docstring)."""
+
+    __slots__ = ("mutex", "cond", "tokens")
+
+    def __init__(self, mutex, cond):
+        self.mutex = mutex
+        self.cond = cond
+        self.tokens = 0
+
+
+@dataclass
+class _Ctx:
+    """Shared interpreter state: the spec's objects, realized."""
+
+    mutexes: list = field(default_factory=list)
+    rwlocks: list = field(default_factory=list)
+    sems: list = field(default_factory=list)
+    channels: list = field(default_factory=list)
+    barrier: Any = None
+    n_children: int = 0
+
+
+def _run_ops(env, ops: list[dict], ctx: _Ctx, children: list) -> Generator:
+    for node in ops:
+        kind = node["op"]
+        if kind == "compute":
+            yield env.compute(float(node["dur"]))
+        elif kind == "lock":
+            m = ctx.mutexes[node["m"]]
+            yield env.acquire(m)
+            yield from _run_ops(env, node["body"], ctx, children)
+            yield env.release(m)
+        elif kind == "trylock":
+            m = ctx.mutexes[node["m"]]
+            ok = yield env.try_acquire(m)
+            if ok:
+                yield env.compute(float(node["dur"]))
+                yield env.release(m)
+        elif kind == "rw":
+            rw = ctx.rwlocks[node["rw"]]
+            if node["write"]:
+                yield env.rw_acquire_write(rw)
+                yield env.compute(float(node["dur"]))
+                yield env.rw_release_write(rw)
+            else:
+                yield env.rw_acquire_read(rw)
+                yield env.compute(float(node["dur"]))
+                yield env.rw_release_read(rw)
+        elif kind == "sem":
+            s = ctx.sems[node["s"]]
+            yield env.sem_acquire(s)
+            yield env.compute(float(node["dur"]))
+            yield env.sem_release(s)
+        elif kind == "produce":
+            ch = ctx.channels[node["ch"]]
+            yield env.acquire(ch.mutex)
+            ch.tokens += 1
+            yield env.release(ch.mutex)
+            if node.get("broadcast"):
+                yield env.cond_broadcast(ch.cond)
+            else:
+                yield env.cond_signal(ch.cond)
+        elif kind == "consume":
+            ch = ctx.channels[node["ch"]]
+            yield env.acquire(ch.mutex)
+            while ch.tokens == 0:
+                yield env.cond_wait(ch.cond, ch.mutex)
+            ch.tokens -= 1
+            yield env.release(ch.mutex)
+        elif kind == "barrier":
+            if ctx.barrier is None:
+                raise CheckError("barrier op in a spec with no barrier rounds")
+            yield env.barrier_wait(ctx.barrier)
+        elif kind == "spawn":
+            ctx.n_children += 1
+            h = yield env.spawn(
+                _thread_body, node["ops"], ctx, name=f"child-{ctx.n_children}"
+            )
+            children.append(h)
+        else:
+            raise CheckError(f"unknown op kind {kind!r}")
+
+
+def _thread_body(env, ops: list[dict], ctx: _Ctx) -> Generator:
+    children: list = []
+    yield from _run_ops(env, ops, ctx, children)
+    yield from env.join_all(children)
+
+
+def build_program(spec: ProgramSpec) -> Program:
+    """Realize a spec as a ready-to-run :class:`Program`."""
+    if not spec.threads:
+        raise CheckError("spec has no threads")
+    p = Program(seed=spec.seed, name=f"check-{spec.seed}")
+    ctx = _Ctx(
+        mutexes=[p.mutex(name=f"m{i}") for i in range(spec.n_mutexes)],
+        rwlocks=[p.rwlock(name=f"rw{i}") for i in range(spec.n_rwlocks)],
+        sems=[
+            p.semaphore(
+                value=spec.sem_values[i] if i < len(spec.sem_values) else 1,
+                name=f"s{i}",
+            )
+            for i in range(spec.n_sems)
+        ],
+        channels=[
+            _Channel(p.mutex(name=f"ch{i}.m"), p.condition(name=f"ch{i}.c"))
+            for i in range(spec.n_channels)
+        ],
+        barrier=(
+            p.barrier(parties=len(spec.threads), name="phase")
+            if spec.barrier_rounds > 0
+            else None
+        ),
+    )
+    for t in spec.threads:
+        p.spawn(_thread_body, t.ops, ctx, name=t.name)
+    return p
+
+
+def run_spec(spec: ProgramSpec) -> SimResult:
+    """Build and run a spec; deterministic for a given spec."""
+    return build_program(spec).run(meta={"check_seed": spec.seed})

@@ -1,0 +1,124 @@
+"""Greedy structural minimization of failing program specs.
+
+``shrink`` repeatedly tries structure-removing candidate edits — from
+coarse (drop a whole root thread, drop a barrier column) to fine (delete
+one op subtree, splice a lock/spawn wrapper, zero a duration) — keeping
+an edit whenever the caller's predicate still reproduces the failure,
+until a full pass yields no accepted edit or the evaluation budget runs
+out.  Candidates may break the generator's liveness rules (e.g. delete a
+``produce`` that a ``consume`` needs); such edits simply change the
+failure (usually to a deadlock), the predicate rejects them, and the
+search moves on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.check.spec import ProgramSpec
+
+__all__ = ["shrink"]
+
+Predicate = Callable[[ProgramSpec], bool]
+
+
+def _drop_thread(ti: int) -> Callable[[ProgramSpec], None]:
+    def edit(s: ProgramSpec) -> None:
+        del s.threads[ti]
+
+    return edit
+
+
+def _drop_barrier_column(col: int) -> Callable[[ProgramSpec], None]:
+    # Remove the col-th top-level barrier op from every thread at once so
+    # the cohort (parties == thread count) stays aligned.
+    def edit(s: ProgramSpec) -> None:
+        for t in s.threads:
+            seen = 0
+            for i, node in enumerate(t.ops):
+                if node["op"] == "barrier":
+                    if seen == col:
+                        del t.ops[i]
+                        break
+                    seen += 1
+        s.barrier_rounds -= 1
+
+    return edit
+
+
+def _delete_op(ti: int, path: tuple[int, ...]) -> Callable[[ProgramSpec], None]:
+    def edit(s: ProgramSpec) -> None:
+        ops, idx = s.resolve(ti, path)
+        del ops[idx]
+
+    return edit
+
+
+def _splice_op(ti: int, path: tuple[int, ...]) -> Callable[[ProgramSpec], None]:
+    # Replace a lock/spawn wrapper with its children (drop the hold /
+    # run the child's ops inline).
+    def edit(s: ProgramSpec) -> None:
+        ops, idx = s.resolve(ti, path)
+        node = ops[idx]
+        child = node["body"] if node["op"] == "lock" else node["ops"]
+        ops[idx : idx + 1] = child
+
+    return edit
+
+
+def _zero_dur(ti: int, path: tuple[int, ...]) -> Callable[[ProgramSpec], None]:
+    def edit(s: ProgramSpec) -> None:
+        ops, idx = s.resolve(ti, path)
+        ops[idx]["dur"] = 0.0
+
+    return edit
+
+
+def _candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """Candidate shrinks of ``spec``, coarsest first."""
+    if len(spec.threads) > 1:
+        for ti in range(len(spec.threads)):
+            yield spec.transform(_drop_thread(ti))
+    for col in range(spec.barrier_rounds):
+        yield spec.transform(_drop_barrier_column(col))
+    # Deepest-first so inner deletions are attempted before their parents
+    # would invalidate the paths; each candidate is built from a fresh
+    # clone, so paths stay valid per candidate.
+    nodes = sorted(spec.iter_ops(), key=lambda x: len(x[1]), reverse=True)
+    for ti, path, node in nodes:
+        if node["op"] == "barrier":
+            continue  # only removed column-wise, to keep cohorts aligned
+        yield spec.transform(_delete_op(ti, path))
+    for ti, path, node in nodes:
+        if node["op"] in ("lock", "spawn"):
+            yield spec.transform(_splice_op(ti, path))
+    for ti, path, node in nodes:
+        if "dur" in node and node["dur"]:
+            yield spec.transform(_zero_dur(ti, path))
+
+
+def shrink(
+    spec: ProgramSpec,
+    predicate: Predicate,
+    max_evals: int = 400,
+) -> tuple[ProgramSpec, int]:
+    """Minimize ``spec`` while ``predicate`` holds.
+
+    ``predicate(candidate)`` must return True iff the candidate still
+    exhibits the original failure; it is never called on ``spec`` itself
+    (the caller established that).  Returns the smallest reproducer
+    found and the number of predicate evaluations spent.
+    """
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for cand in _candidates(spec):
+            if evals >= max_evals:
+                break
+            evals += 1
+            if predicate(cand):
+                spec = cand
+                improved = True
+                break  # restart candidate enumeration from the smaller spec
+    return spec, evals

@@ -1,0 +1,185 @@
+"""Program specs: the data model of the trace-fuzzing harness.
+
+A :class:`ProgramSpec` is a fully serializable description of a random
+multithreaded program — synchronization-object counts plus one op tree
+per root thread.  Ops are plain dicts so specs round-trip through JSON
+repro files unchanged; the grammar is:
+
+=============  ==========================================================
+op             fields / meaning
+=============  ==========================================================
+``compute``    ``dur`` — run for that much virtual time
+``lock``       ``m``, ``body`` — hold mutex ``m`` around nested ops
+``trylock``    ``m``, ``dur`` — non-blocking attempt; short CS on success
+``rw``         ``rw``, ``write``, ``dur`` — read/write-locked section
+``sem``        ``s``, ``dur`` — semaphore-guarded section
+``produce``    ``ch``, ``broadcast`` — add a token to a cond-var channel
+``consume``    ``ch`` — take one token, cond-waiting while empty
+``barrier``    arrive at the root-cohort barrier (root threads only)
+``spawn``      ``ops`` — create a child thread; joined at thread end
+=============  ==========================================================
+
+The generator only emits deadlock-free compositions (ordered blocking
+locks, per-phase produce/consume coverage, column-aligned barriers); the
+shrinker preserves those invariants structurally or relies on the
+re-execution predicate to reject candidates that break them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import CheckError
+
+__all__ = ["FORMAT", "ThreadSpec", "ProgramSpec"]
+
+#: Repro-file format tag (bump on incompatible grammar changes).
+FORMAT = "cla-check/1"
+
+Op = dict  # alias for readability; ops are JSON-style dicts
+
+
+def _child_list(node: Op) -> list[Op] | None:
+    """The nested op list of a node, if it has one."""
+    if node["op"] == "lock":
+        return node["body"]
+    if node["op"] == "spawn":
+        return node["ops"]
+    return None
+
+
+@dataclass
+class ThreadSpec:
+    """One root thread: a name and its op tree."""
+
+    name: str
+    ops: list[Op] = field(default_factory=list)
+
+
+@dataclass
+class ProgramSpec:
+    """A complete generated program (see module docstring)."""
+
+    seed: int
+    n_mutexes: int = 1
+    n_rwlocks: int = 0
+    n_sems: int = 0
+    sem_values: list[int] = field(default_factory=list)
+    n_channels: int = 0
+    barrier_rounds: int = 0
+    threads: list[ThreadSpec] = field(default_factory=list)
+
+    # -- traversal ---------------------------------------------------------
+
+    def iter_ops(self) -> Iterator[tuple[int, tuple[int, ...], Op]]:
+        """Yield ``(thread_index, path, node)`` over every op node (DFS).
+
+        ``path`` indexes nested op lists: ``path[0]`` into the thread's
+        top-level ops, each further element into the previous node's
+        child list (lock body / spawn ops).
+        """
+        def walk(ops: list[Op], prefix: tuple[int, ...], ti: int):
+            for i, node in enumerate(ops):
+                path = prefix + (i,)
+                yield ti, path, node
+                child = _child_list(node)
+                if child is not None:
+                    yield from walk(child, path, ti)
+
+        for ti, t in enumerate(self.threads):
+            yield from walk(t.ops, (), ti)
+
+    def op_count(self) -> int:
+        """Total number of op nodes across all threads."""
+        return sum(1 for _ in self.iter_ops())
+
+    def resolve(self, ti: int, path: tuple[int, ...]) -> tuple[list[Op], int]:
+        """The ``(containing_list, index)`` a path points into."""
+        ops = self.threads[ti].ops
+        for step in path[:-1]:
+            child = _child_list(ops[step])
+            if child is None:
+                raise CheckError(f"path {path} descends into a leaf op")
+            ops = child
+        return ops, path[-1]
+
+    @property
+    def has_nested_holds(self) -> bool:
+        """Whether any thread holds two lock-like objects at once.
+
+        True when a ``lock`` body contains (in the same thread) another
+        hold-taking op — including ``produce``, which briefly takes its
+        channel's mutex.  ``spawn`` bodies run in a different thread and
+        do not count.
+        """
+        def nested(ops: list[Op], holding: bool) -> bool:
+            for node in ops:
+                kind = node["op"]
+                if holding and kind in ("lock", "trylock", "rw", "sem", "produce"):
+                    return True
+                if kind == "lock" and nested(node["body"], True):
+                    return True
+                if kind == "spawn" and nested(node["ops"], False):
+                    return True
+            return False
+
+        return any(nested(t.ops, False) for t in self.threads)
+
+    def transform(self, fn: Callable[["ProgramSpec"], None]) -> "ProgramSpec":
+        """Deep-copy this spec and apply an in-place mutation to the copy."""
+        clone = ProgramSpec.from_dict(self.to_dict())
+        fn(clone)
+        return clone
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT,
+            "seed": self.seed,
+            "n_mutexes": self.n_mutexes,
+            "n_rwlocks": self.n_rwlocks,
+            "n_sems": self.n_sems,
+            "sem_values": list(self.sem_values),
+            "n_channels": self.n_channels,
+            "barrier_rounds": self.barrier_rounds,
+            "threads": [{"name": t.name, "ops": t.ops} for t in self.threads],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ProgramSpec":
+        fmt = raw.get("format", FORMAT)
+        if fmt != FORMAT:
+            raise CheckError(f"unsupported spec format {fmt!r} (expected {FORMAT})")
+        try:
+            return cls(
+                seed=int(raw["seed"]),
+                n_mutexes=int(raw["n_mutexes"]),
+                n_rwlocks=int(raw.get("n_rwlocks", 0)),
+                n_sems=int(raw.get("n_sems", 0)),
+                sem_values=[int(v) for v in raw.get("sem_values", [])],
+                n_channels=int(raw.get("n_channels", 0)),
+                barrier_rounds=int(raw.get("barrier_rounds", 0)),
+                threads=[
+                    ThreadSpec(name=str(t["name"]), ops=json.loads(json.dumps(t["ops"])))
+                    for t in raw.get("threads", [])
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckError(f"malformed program spec: {exc}") from exc
+
+    def to_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ProgramSpec":
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckError(f"cannot read spec file {path}: {exc}") from exc
+        return cls.from_dict(raw)

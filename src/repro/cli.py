@@ -6,6 +6,7 @@
     critical-lock-analysis analyze rad.clt --top 5 --timeline
     critical-lock-analysis whatif rad.clt "tq[0].qlock" --factor 0.5
     critical-lock-analysis experiment fig9
+    critical-lock-analysis check --seeds 200
     critical-lock-analysis serve --port 8323 --workers 4
     critical-lock-analysis list
 
@@ -127,6 +128,28 @@ def build_parser() -> argparse.ArgumentParser:
         "exp_id", help=f"one of: {', '.join(list_experiments())}, or 'all'"
     )
     ex_p.add_argument("--output", "-o", help="also append the tables to this file")
+
+    chk_p = sub.add_parser(
+        "check",
+        help="differential verification: fuzz random programs through both "
+        "critical-path formulations and cross-check every invariant",
+    )
+    chk_p.add_argument("--seeds", type=int, default=50, metavar="N",
+                       help="number of seeds to check (default: %(default)s)")
+    chk_p.add_argument("--start", type=int, default=0,
+                       help="first seed (default: %(default)s)")
+    chk_p.add_argument(
+        "--out-dir", default=".cla-check",
+        help="directory for shrunk repro files (default: %(default)s)",
+    )
+    chk_p.add_argument("--repro", metavar="FILE",
+                       help="replay a repro file instead of fuzzing")
+    chk_p.add_argument("--no-shrink", action="store_true",
+                       help="skip minimization of failing programs")
+    chk_p.add_argument(
+        "--max-shrink-evals", type=int, default=400, metavar="N",
+        help="shrinker evaluation budget per failure (default: %(default)s)",
+    )
 
     srv_p = sub.add_parser(
         "serve", help="run the parallel analysis service (HTTP/JSON API)"
@@ -312,6 +335,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import replay_repro, run_seeds
+
+    if args.repro:
+        report = replay_repro(args.repro)
+        print(report.render())
+        return 0 if report.ok else 1
+    run = run_seeds(
+        count=args.seeds,
+        start=args.start,
+        out_dir=args.out_dir,
+        shrink_failures=not args.no_shrink,
+        max_shrink_evals=args.max_shrink_evals,
+    )
+    print(run.render())
+    return 0 if run.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
@@ -346,6 +387,7 @@ def main(argv: list[str] | None = None) -> int:
         "replay": _cmd_replay,
         "whatif": _cmd_whatif,
         "experiment": _cmd_experiment,
+        "check": _cmd_check,
         "serve": _cmd_serve,
         "list": _cmd_list,
     }[args.command]

@@ -19,6 +19,7 @@ optimized lock stops dominating (§V.D.3).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
@@ -61,10 +62,21 @@ class EventGraph:
     edge_w: np.ndarray
     exec_spans: list[ExecSpan] = field(default_factory=list)
     wake_edges: list[tuple[int, int]] = field(default_factory=list)  # (edge, obj)
+    # Record positions of root THREAD_START events (the longest-path
+    # sources).  Computed once by :func:`build_event_graph`; graphs built
+    # by hand get it lazily on first use.
+    source_pos: np.ndarray | None = None
 
     @property
     def n_events(self) -> int:
         return len(self.trace)
+
+    @property
+    def sources(self) -> np.ndarray:
+        """Root THREAD_START positions (cached; see ``source_pos``)."""
+        if self.source_pos is None:
+            self.source_pos = _root_start_positions(self.trace)
+        return self.source_pos
 
     def longest_dist(
         self,
@@ -81,16 +93,10 @@ class EventGraph:
         records = self.trace.records
         n = self.n_events
         dist = np.full(n, -np.inf)
-        etypes = records["etype"]
         times = records["time"]
         start = self.trace.start_time
-        created = {self.trace[pos].arg for pos in np.flatnonzero(
-            etypes == int(EventType.THREAD_CREATE)
-        )}
-        for pos in np.flatnonzero(etypes == int(EventType.THREAD_START)):
-            tid = int(records["tid"][pos])
-            if tid not in created:
-                dist[pos] = times[pos] - start
+        for pos in self.sources:
+            dist[pos] = times[pos] - start
         # Edges were appended with strictly increasing dst, so one ordered
         # sweep relaxes the whole DAG.
         src, dst = self.edge_src, self.edge_dst
@@ -108,33 +114,63 @@ class EventGraph:
         weights: np.ndarray | None = None,
         skip_edges: "set[int] | None" = None,
     ) -> float:
-        """Longest-path length to the end of the execution."""
+        """Longest-path length to the end of the execution.
+
+        Traces with no THREAD_EXIT events (truncated captures) fall back
+        to the max distance over all events, so what-if and forecasting
+        on partial traces report finite times instead of zero.
+        """
         dist = self.longest_dist(weights, skip_edges)
         exits = np.flatnonzero(self.trace.records["etype"] == int(EventType.THREAD_EXIT))
         if len(exits) == 0:
-            return 0.0
+            finite = dist[np.isfinite(dist)]
+            return float(np.max(finite)) if len(finite) else 0.0
         return float(np.max(dist[exits]))
 
     def lock_wake_edge_set(self, obj: int) -> set[int]:
         """Edge indices of ``obj``'s contended-handoff dependencies."""
         return {e for e, o in self.wake_edges if o == obj}
 
-    def critical_events(self, weights: np.ndarray | None = None) -> list[int]:
-        """Record positions of one longest path, in forward order."""
+    def critical_events(
+        self,
+        weights: np.ndarray | None = None,
+        dist: np.ndarray | None = None,
+    ) -> list[int]:
+        """Record positions of one longest path, in forward order.
+
+        ``dist`` lets callers that already ran :meth:`longest_dist` — or
+        an equivalent recomputation, e.g. in rescaled time units — reuse
+        it instead of paying the O(E) sweep again.  A supplied ``dist``
+        only has to be consistent with the weights up to float
+        tolerance; see the backtracking comparison below.
+        """
         w = self.edge_w if weights is None else weights
-        dist = self.longest_dist(weights)
+        if dist is None:
+            dist = self.longest_dist(weights)
         # Group incoming edges per destination for backtracking.
         incoming: dict[int, list[int]] = {}
         for e in range(len(self.edge_dst)):
             incoming.setdefault(int(self.edge_dst[e]), []).append(e)
         exits = np.flatnonzero(self.trace.records["etype"] == int(EventType.THREAD_EXIT))
+        if len(exits) == 0:  # truncated trace: end at the farthest event
+            exits = np.flatnonzero(np.isfinite(dist))
+            if len(exits) == 0:
+                return []
         pos = int(exits[np.argmax(dist[exits])])
         path = [pos]
         while True:
             best_edge = None
             for e in incoming.get(pos, ()):
                 s = int(self.edge_src[e])
-                if dist[s] + w[e] == dist[pos] and (
+                # Tolerant comparison: an independently-derived distance
+                # array (a caller-supplied ``dist``, e.g. recomputed in
+                # rescaled time units) accumulates float error along long
+                # edge chains, leaving the true predecessor a few ulps
+                # off dist[pos]; exact equality would truncate the walk.
+                if math.isclose(
+                    float(dist[s]) + float(w[e]), float(dist[pos]),
+                    rel_tol=1e-9, abs_tol=1e-12,
+                ) and (
                     best_edge is None or dist[s] > dist[int(self.edge_src[best_edge])]
                 ):
                     best_edge = e
@@ -184,6 +220,21 @@ class EventGraph:
                 int(self.edge_src[e]), int(self.edge_dst[e]), weight=float(self.edge_w[e])
             )
         return g
+
+
+def _root_start_positions(trace: Trace) -> np.ndarray:
+    """Record positions of THREAD_START events of root (uncreated) threads.
+
+    Hoisted out of :meth:`EventGraph.longest_dist` so repeated what-if
+    re-weighting calls don't rebuild per-event objects every time.
+    """
+    records = trace.records
+    etypes = records["etype"]
+    create_pos = np.flatnonzero(etypes == int(EventType.THREAD_CREATE))
+    created = set(records["arg"][create_pos].tolist())
+    start_pos = np.flatnonzero(etypes == int(EventType.THREAD_START))
+    tids = records["tid"][start_pos]
+    return start_pos[[int(t) not in created for t in tids]]
 
 
 def _overlap_with_holds(
@@ -277,4 +328,5 @@ def build_event_graph(
         edge_w=np.asarray(edge_w, dtype=np.float64),
         exec_spans=exec_spans,
         wake_edges=wake_edges,
+        source_pos=_root_start_positions(trace),
     )

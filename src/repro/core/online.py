@@ -83,9 +83,12 @@ class OnlineAnalyzer:
                 ls.wait_time += ev.time - acq
                 # Dependent handoff: this hold extends the running chain.
             else:
-                # Independent acquisition: a gap since the last release
-                # breaks the chain (nobody was waiting).
-                if ev.time > ls._last_release:
+                # Independent acquisition: the lock was free, so nobody
+                # was waiting and the chain breaks.  ``>=`` matters: in
+                # virtual time an uncontended OBTAIN routinely lands at
+                # the exact timestamp of the previous RELEASE, and such a
+                # handoff is still not a dependency.
+                if ev.time >= ls._last_release:
                     ls.chain_time = 0.0
         else:  # RELEASE
             start = ls._obtain_time.pop(ev.tid, ev.time)

@@ -21,6 +21,7 @@ __all__ = [
     "WakerResolutionError",
     "WorkloadError",
     "ServiceError",
+    "CheckError",
 ]
 
 
@@ -99,3 +100,7 @@ class ServiceError(ReproError):
     def __init__(self, message: str, status: int = 400):
         self.status = int(status)
         super().__init__(message)
+
+
+class CheckError(ReproError):
+    """The differential verification harness was misused (bad spec/repro file)."""

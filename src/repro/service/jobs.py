@@ -21,11 +21,15 @@ from repro.errors import ServiceError
 
 __all__ = ["JOB_KINDS", "JobSpec", "Job", "JobStore", "execute"]
 
-#: Public analysis kinds (``selftest`` is internal: diagnostics + tests).
-JOB_KINDS = ("analyze", "whatif", "compare", "forecast", "selftest")
+#: Public analysis kinds (``selftest`` is internal: diagnostics + tests;
+#: ``check`` runs the differential verification harness over a seed range,
+#: letting the pool fan a large fuzzing campaign out across workers).
+JOB_KINDS = ("analyze", "whatif", "compare", "forecast", "check", "selftest")
 
 #: How many traces each kind consumes.
-_ARITY = {"analyze": 1, "whatif": 1, "compare": 2, "forecast": 1, "selftest": 0}
+_ARITY = {
+    "analyze": 1, "whatif": 1, "compare": 2, "forecast": 1, "check": 0, "selftest": 0,
+}
 
 # Job lifecycle states.
 QUEUED = "queued"
@@ -258,6 +262,39 @@ def _exec_forecast(paths: list[str], params: dict) -> dict:
     return forecast(analysis).to_dict(thread_counts=counts)
 
 
+def _exec_check(paths: list[str], params: dict) -> dict:
+    # Differential verification over a seed range.  Shrunk failing specs
+    # come back inline in the result (workers have no durable filesystem);
+    # callers wanting a repro file can write the spec dict verbatim.
+    from repro.check import run_seeds
+
+    run = run_seeds(
+        count=int(params.get("count", 25)),
+        start=int(params.get("start", 0)),
+        shrink_failures=bool(params.get("shrink", True)),
+        max_shrink_evals=int(params.get("max_shrink_evals", 400)),
+    )
+    return {
+        "ok": run.ok,
+        "seeds": len(run.reports),
+        "start": int(params.get("start", 0)),
+        "failures": [
+            {
+                "seed": r.seed,
+                "invariants": r.invariants,
+                "discrepancies": [
+                    {"invariant": d.invariant, "detail": d.detail}
+                    for d in r.discrepancies
+                ],
+                "original_op_count": r.op_count,
+                "shrunk_spec": r.shrunk.to_dict() if r.shrunk is not None else None,
+                "shrink_evals": r.shrink_evals,
+            }
+            for r in run.failures
+        ],
+    }
+
+
 def _exec_selftest(paths: list[str], params: dict) -> dict:
     # Internal diagnostics kind: lets tests and health checks exercise the
     # pool without trace I/O.  ``crash`` hard-kills the worker process to
@@ -278,6 +315,7 @@ _EXECUTORS: dict[str, Callable[[list[str], dict], dict]] = {
     "whatif": _exec_whatif,
     "compare": _exec_compare,
     "forecast": _exec_forecast,
+    "check": _exec_check,
     "selftest": _exec_selftest,
 }
 

@@ -1,0 +1,116 @@
+"""Runner + CLI: seed orchestration, repro files, replay."""
+
+import json
+
+import pytest
+
+from repro.check import runner as runner_mod
+from repro.check.oracle import Discrepancy
+from repro.check.runner import replay_repro, run_seed, run_seeds
+from repro.check.spec import ProgramSpec
+from repro.cli import main
+from repro.errors import CheckError
+
+
+def test_clean_seed_reports_ok():
+    report = run_seed(0)
+    assert report.ok
+    assert report.discrepancies == []
+    assert report.repro_path is None
+    assert "ok" in report.render()
+
+
+def test_run_seeds_aggregates():
+    run = run_seeds(count=3, start=10)
+    assert run.ok
+    assert [r.seed for r in run.reports] == [10, 11, 12]
+    assert "3 ok" in run.render()
+
+
+def test_run_seeds_rejects_bad_count():
+    with pytest.raises(CheckError, match="count"):
+        run_seeds(count=0)
+
+
+@pytest.fixture
+def broken_oracle(monkeypatch):
+    """Deterministic fake failure: any spec containing a trylock op."""
+
+    def fake_check_spec(spec: ProgramSpec):
+        if any(n["op"] == "trylock" for _, _, n in spec.iter_ops()):
+            return [Discrepancy("fake-trylock", "spec contains a trylock")]
+        return []
+
+    monkeypatch.setattr(runner_mod, "check_spec", fake_check_spec)
+    # find a seed whose generated program has a trylock
+    from repro.check.generator import generate_spec
+
+    for seed in range(100):
+        if fake_check_spec(generate_spec(seed)):
+            return seed
+    raise AssertionError("no seed with a trylock in range")
+
+
+def test_failure_is_shrunk_and_dumped(tmp_path, broken_oracle):
+    report = run_seed(broken_oracle, out_dir=tmp_path)
+    assert not report.ok
+    assert report.invariants == ["fake-trylock"]
+    assert report.shrunk is not None
+    # minimal reproducer: a single trylock op in a single thread
+    assert report.shrunk.op_count() == 1
+    assert len(report.shrunk.threads) == 1
+    assert report.repro_path is not None and report.repro_path.exists()
+
+    doc = json.loads(report.repro_path.read_text())
+    assert doc["discrepancies"][0]["invariant"] == "fake-trylock"
+    assert doc["original_op_count"] == report.op_count
+
+
+def test_repro_file_replays(tmp_path, broken_oracle):
+    report = run_seed(broken_oracle, out_dir=tmp_path)
+    replay = replay_repro(report.repro_path)
+    assert not replay.ok
+    assert replay.invariants == ["fake-trylock"]
+
+
+def test_no_shrink_keeps_original_failure(tmp_path, broken_oracle):
+    report = run_seed(broken_oracle, out_dir=tmp_path, shrink_failures=False)
+    assert not report.ok
+    assert report.shrunk is None
+    # the repro file then carries the full generated program
+    doc = json.loads(report.repro_path.read_text())
+    assert ProgramSpec.from_dict(doc).op_count() == report.op_count
+
+
+def test_cli_check_clean(tmp_path, capsys):
+    assert main(["check", "--seeds", "2", "--out-dir", str(tmp_path)]) == 0
+    assert "2 ok, 0 failing" in capsys.readouterr().out
+
+
+def test_cli_check_failure_and_replay(tmp_path, capsys, broken_oracle):
+    code = main([
+        "check", "--seeds", "1", "--start", str(broken_oracle),
+        "--out-dir", str(tmp_path),
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "fake-trylock" in out
+    assert "repro written to" in out
+
+    repro = tmp_path / f"repro-seed{broken_oracle}.json"
+    assert main(["check", "--repro", str(repro)]) == 1
+    assert "fake-trylock" in capsys.readouterr().out
+
+
+def test_cli_replay_clean_repro(tmp_path, capsys):
+    # A clean program replayed through the real oracle exits 0.
+    from repro.check.generator import generate_spec
+
+    path = generate_spec(0).to_json(tmp_path / "spec.json")
+    assert main(["check", "--repro", str(path)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_cli_replay_missing_file(capsys):
+    assert main(["check", "--repro", "/nonexistent/nope.json"]) == 1
+    assert "error:" in capsys.readouterr().err

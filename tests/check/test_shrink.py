@@ -1,0 +1,72 @@
+"""Shrinker: minimizes while preserving the failure predicate."""
+
+from repro.check.generator import generate_spec
+from repro.check.shrink import shrink
+from repro.check.spec import ProgramSpec, ThreadSpec
+
+
+def _has_lock_on(spec: ProgramSpec, m: int) -> bool:
+    return any(
+        node["op"] == "lock" and node["m"] == m for _, _, node in spec.iter_ops()
+    )
+
+
+def test_shrinks_to_near_minimal():
+    # Find a generated spec with a lock on some mutex, then minimize the
+    # synthetic failure "spec still contains a lock op on that mutex".
+    spec = target = None
+    for seed in range(50):
+        spec = generate_spec(seed)
+        locks = [n["m"] for _, _, n in spec.iter_ops() if n["op"] == "lock"]
+        if locks and spec.op_count() > 10:
+            target = locks[0]
+            break
+    assert target is not None
+
+    small, evals = shrink(spec, lambda s: _has_lock_on(s, target))
+    assert _has_lock_on(small, target)       # failure preserved
+    assert small.op_count() < spec.op_count()
+    assert len(small.threads) == 1           # extra threads dropped
+    assert small.op_count() <= 2             # the lock op (body emptied)
+    assert evals > 0
+
+
+def test_respects_eval_budget():
+    spec = generate_spec(1)
+    _, evals = shrink(spec, lambda s: True, max_evals=7)
+    assert evals <= 7
+
+
+def test_barrier_columns_stay_aligned():
+    spec = ProgramSpec(
+        seed=0,
+        barrier_rounds=2,
+        threads=[
+            ThreadSpec(name="a", ops=[
+                {"op": "compute", "dur": 1.0}, {"op": "barrier"},
+                {"op": "compute", "dur": 1.0}, {"op": "barrier"},
+            ]),
+            ThreadSpec(name="b", ops=[
+                {"op": "barrier"}, {"op": "barrier"},
+            ]),
+        ],
+    )
+    # Predicate: both threads still agree on the number of barrier ops
+    # (the interpreter would deadlock otherwise) and one compute remains.
+    def pred(s: ProgramSpec) -> bool:
+        counts = {
+            sum(1 for n in t.ops if n["op"] == "barrier") for t in s.threads
+        }
+        has_compute = any(n["op"] == "compute" for _, _, n in s.iter_ops())
+        return len(counts) == 1 and has_compute
+
+    small, _ = shrink(spec, pred)
+    assert pred(small)
+    assert small.barrier_rounds <= spec.barrier_rounds
+
+
+def test_shrunk_spec_stays_serializable(tmp_path):
+    spec = generate_spec(2)
+    small, _ = shrink(spec, lambda s: s.op_count() > 0, max_evals=50)
+    path = small.to_json(tmp_path / "small.json")
+    assert ProgramSpec.from_json(path).to_dict() == small.to_dict()

@@ -91,3 +91,31 @@ def test_render(micro):
     text = online.render()
     assert "Max dependent chain" in text
     assert "L2" in text
+
+
+def test_chain_resets_on_equal_timestamp_uncontended_obtain():
+    # Virtual time routinely lands an uncontended OBTAIN at the exact
+    # timestamp of the previous RELEASE.  The lock was free — nobody
+    # waited — so the dependent chain must reset; `>` instead of `>=` in
+    # the reset condition wrongly fused such back-to-back holds into one
+    # chain.
+    from repro.trace import TraceBuilder
+
+    b = TraceBuilder()
+    lock = b.mutex("L")
+    t0 = b.thread("T0")
+    t1 = b.thread("T1")
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    # T0 holds [0, 1]; T1 obtains uncontended at exactly 1.0, holds [1, 2].
+    t0.critical_section(lock, acquire=0.0, obtain=0.0, release=1.0)
+    t1.critical_section(lock, acquire=1.0, obtain=1.0, release=2.0)
+    t0.exit(at=1.0)
+    t1.exit(at=2.0)
+    trace = b.build()
+
+    online = OnlineAnalyzer().observe_all(trace)
+    ls = online.stats(lock)
+    assert ls.contended == 0
+    # two independent 1.0-long holds, not one fused 2.0 chain
+    assert ls.max_chain_time == pytest.approx(1.0)

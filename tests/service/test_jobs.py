@@ -34,6 +34,8 @@ class TestJobSpec:
             JobSpec("compare", ("d1",), {})
         with pytest.raises(ServiceError, match="takes 1 trace"):
             JobSpec("analyze", ("d1", "d2"), {})
+        with pytest.raises(ServiceError, match="takes 0 trace"):
+            JobSpec("check", ("d1",), {})
 
 
 class TestJobStore:
@@ -93,6 +95,18 @@ class TestExecute:
     def test_unknown_kind(self):
         with pytest.raises(ServiceError, match="unknown job kind"):
             execute("nope", [], {})
+
+    def test_check_runs_differential_seeds(self):
+        out = execute("check", [], {"count": 2, "start": 7})
+        assert out["ok"] is True
+        assert out["seeds"] == 2
+        assert out["start"] == 7
+        assert out["failures"] == []
+
+    def test_check_result_is_json_serializable(self):
+        import json
+
+        json.dumps(execute("check", [], {"count": 1}))
 
     def test_results_are_json_serializable(self, micro_path):
         import json
