@@ -1,0 +1,126 @@
+"""Sequential vs sharded analysis wall-clock comparison.
+
+Standalone script (not a pytest bench — CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick
+    PYTHONPATH=src python benchmarks/bench_shard.py --jobs 4 --min-speedup 1.5
+
+Builds a multi-phase SyntheticLocks trace (barriers every few hundred
+ops give the cut-point detector plenty of quiescent positions), then
+times ``analyze(trace)`` against ``analyze(trace, jobs=N)`` and checks
+the two renders are byte-identical — a perf harness that silently
+changed the answer would be worse than no harness.
+
+The parallel path only engages with >1 usable CPU (see
+``repro.core.shard._use_processes``); on a single-core runner the
+sharded figure measures the inline fallback, so ``--min-speedup`` is
+meant for multi-core CI runners, not laptops pinned to one core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.analyzer import analyze
+from repro.trace.shard import find_cuts
+from repro.workloads import SyntheticLocks
+
+
+def build_trace(quick: bool):
+    if quick:
+        params = dict(ops_per_thread=800, nlocks=6, barrier_every=100)
+        nthreads = 6
+    else:
+        params = dict(ops_per_thread=9000, nlocks=8, barrier_every=250)
+        nthreads = 8
+    wl = SyntheticLocks(**params)
+    return wl.run(nthreads=nthreads, seed=0).trace
+
+
+def _time(fn, repeats: int) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small trace, machinery check only (CI smoke job)")
+    ap.add_argument("--jobs", type=int, default=4, help="shard count (default: 4)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats, best-of (default: 3, 1 with --quick)")
+    ap.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                    help="fail unless sharded is at least X times faster")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the numbers as JSON (perf trajectory)")
+    args = ap.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+
+    trace = build_trace(args.quick)
+    cuts = find_cuts(trace)
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+    print(f"trace: {len(trace)} events, {len(trace.threads)} threads, "
+          f"{len(cuts)} cut points, {cpus} usable CPU(s)")
+
+    t_seq, seq = _time(lambda: analyze(trace, validate=False), repeats)
+    t_shard, sharded = _time(
+        lambda: analyze(trace, validate=False, jobs=args.jobs), repeats
+    )
+
+    if sharded.report.render(None) != seq.report.render(None):
+        print("FAIL: sharded report differs from sequential", file=sys.stderr)
+        return 1
+    speedup = t_seq / t_shard if t_shard > 0 else float("inf")
+    print(f"sequential        {t_seq:8.3f}s")
+    print(f"sharded jobs={args.jobs:<2}   {t_shard:8.3f}s   "
+          f"({sharded.shards} shards, {speedup:.2f}x)")
+
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(
+                {
+                    "bench": "shard",
+                    "quick": args.quick,
+                    "events": len(trace),
+                    "threads": len(trace.threads),
+                    "cut_points": len(cuts),
+                    "usable_cpus": cpus,
+                    "jobs": args.jobs,
+                    "shards": sharded.shards,
+                    "repeats": repeats,
+                    "sequential_s": round(t_seq, 4),
+                    "sharded_s": round(t_shard, 4),
+                    "speedup": round(speedup, 3),
+                    "identical_render": True,
+                },
+                f,
+                indent=2,
+            )
+            f.write("\n")
+        print(f"numbers written to {args.json}")
+
+    if args.min_speedup is not None:
+        if sharded.shards <= 1:
+            print("FAIL: sharding never engaged", file=sys.stderr)
+            return 1
+        if speedup < args.min_speedup:
+            print(f"FAIL: speedup {speedup:.2f}x < required "
+                  f"{args.min_speedup:.2f}x", file=sys.stderr)
+            return 1
+    print("ok: sharded output is byte-identical to sequential")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

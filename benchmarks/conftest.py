@@ -6,7 +6,25 @@ appear in the benchmark run's output (the whole point of the harness).
 
 from __future__ import annotations
 
+import random
+
+import numpy as np
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _seed_generators():
+    """Pin every global RNG before each benchmark.
+
+    Workload generators take an explicit ``seed`` (default 0), but any
+    code path that falls through to the process-global generators —
+    `random` or numpy's legacy global state — would make bench numbers
+    drift run-to-run and between orderings.  Seeding both per test makes
+    each benchmark a pure function of its own parameters, regardless of
+    which benches ran before it.
+    """
+    random.seed(0)
+    np.random.seed(0)
 
 
 @pytest.fixture

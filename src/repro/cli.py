@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.add_argument("--phases", action="store_true",
                       help="per-barrier-phase critical lock statistics")
     an_p.add_argument("--no-validate", action="store_true", help="skip trace validation")
+    an_p.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="analyze in up to N parallel shards split at barrier/join cut "
+        "points (same result, less wall-clock; default: sequential)",
+    )
 
     cmp_p = sub.add_parser("compare", help="diff two analyses (before vs after)")
     cmp_p.add_argument("before")
@@ -210,7 +215,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.viz.profile import render_lock_profile
 
     trace = read_trace(args.trace)
-    analysis = analyze(trace, validate=not args.no_validate)
+    analysis = analyze(trace, validate=not args.no_validate, jobs=args.jobs)
     if args.json:
         print(json.dumps(analysis.report.to_dict(), indent=2))
     else:

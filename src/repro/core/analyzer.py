@@ -34,6 +34,8 @@ class AnalysisResult:
     timelines: dict[int, ThreadTimeline]
     critical_path: CriticalPath
     report: AnalysisReport
+    #: How many shards produced this result (1 = sequential pass).
+    shards: int = 1
 
     @cached_property
     def graph(self) -> EventGraph:
@@ -58,10 +60,31 @@ class AnalysisResult:
         return self.report.render(n)
 
 
-def analyze(trace: Trace, validate: bool = True) -> AnalysisResult:
-    """Run the full critical lock analysis pipeline on a trace."""
+def analyze(
+    trace: Trace,
+    validate: bool = True,
+    jobs: int | None = None,
+    parallel: bool | None = None,
+) -> AnalysisResult:
+    """Run the full critical lock analysis pipeline on a trace.
+
+    ``jobs`` > 1 enables sharded analysis: the trace is split at
+    quiescent cut points (full-barrier episodes, final joins) and the
+    shards run concurrently, stitched back into a result identical to
+    the sequential one (see ``docs/sharding.md``).  Traces with no cut
+    points — and any shard-level inconsistency — silently use the
+    sequential pass, so ``jobs`` never changes the answer, only the
+    wall-clock.  ``parallel`` forces worker processes on or off (the
+    default picks based on trace size).
+    """
     if validate:
         validate_trace(trace)
+    if jobs is not None and jobs > 1:
+        from repro.core.shard import analyze_sharded  # deferred: import cycle
+
+        result = analyze_sharded(trace, jobs=jobs, parallel=parallel)
+        if result is not None:
+            return result
     wakers = resolve_wakers(trace)
     timelines = build_timelines(trace, wakers)
     cp = compute_critical_path(trace, timelines, wakers)

@@ -1,0 +1,270 @@
+"""Sharded critical-path analysis with barrier-cut stitching.
+
+The paper's analysis is a single sequential pass; on multi-phase traces
+this module splits the work at *quiescent cut points* (see
+:mod:`repro.trace.shard` and ``docs/sharding.md``), runs timeline
+construction, waker resolution and the backward walk per shard — in
+worker processes for large traces — and stitches the per-shard results
+into one :class:`~repro.core.analyzer.AnalysisResult` that is
+*bit-identical* to the sequential one:
+
+* per-shard walks either stop at a wait whose waker is the cut anchor
+  (``"jump"`` boundary — the sequential walk jumps to exactly that
+  anchor, which is where the left shard's walk starts) or fall off the
+  anchor thread's shard-local start (``"open"`` boundary — the
+  sequential walk has one piece spanning the cut, recovered by merging
+  the two boundary pieces);
+* per-thread timelines merge by concatenation (shard order is seq
+  order, so every list keeps the sequential element order);
+* metrics run once, sequentially, over the merged structures and the
+  stitched path — identical float summation order, identical report.
+
+Anything that cannot be proven to stitch cleanly raises
+:class:`~repro.errors.ShardError` and the caller falls back to the
+sequential pass; sharding is an optimization, never a semantics change.
+The 13th ``repro.check`` invariant (``shard-equiv``) holds this module
+to the bit-identity claim on every fuzzed seed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.analyzer import AnalysisResult
+from repro.core.critical_path import CriticalPath, WalkSegment, backward_walk
+from repro.core.metrics import compute_metrics, compute_thread_stats
+from repro.core.model import CPPiece, ThreadTimeline
+from repro.core.report import AnalysisReport
+from repro.core.segments import build_timelines
+from repro.core.wakers import WakeInfo, WakerTable, resolve_wakers
+from repro.errors import ReproError, ShardError
+from repro.trace.shard import CutPoint, find_cuts, select_cuts
+from repro.trace.trace import Trace
+
+__all__ = ["PARALLEL_MIN_EVENTS", "analyze_sharded"]
+
+#: Below this many events, process spin-up and pickling dominate any
+#: walk-time savings; shards then run inline in the calling process.
+PARALLEL_MIN_EVENTS = 20_000
+
+
+# ---------------------------------------------------------------------------
+# Per-shard work (module level: picklable under the spawn start method).
+# ---------------------------------------------------------------------------
+
+
+def _analyze_shard(payload) -> tuple[WakerTable, dict[int, ThreadTimeline], WalkSegment]:
+    """Resolve wakers, build timelines and walk one shard."""
+    records, objects, threads, meta, cut = payload
+    sub = Trace(records=records, objects=objects, threads=threads, meta=meta)
+    barrier_seed = None
+    boundary_arrivals = None
+    lo_seq = None
+    if cut is not None:
+        lo_seq = int(records["seq"][0])
+        if cut.barrier is not None:
+            anchor = WakeInfo(cut.anchor_tid, cut.anchor_time, cut.anchor_seq)
+            barrier_seed = {cut.barrier: anchor}
+            boundary_arrivals = {cut.barrier: dict(cut.arrivals)}
+    wakers = resolve_wakers(sub, barrier_seed=barrier_seed)
+    timelines = build_timelines(sub, wakers, boundary_arrivals=boundary_arrivals)
+    walk = backward_walk(sub, timelines, lo_seq=lo_seq)
+    return wakers, timelines, walk
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _use_processes(n_events: int, nshards: int, parallel: bool | None) -> bool:
+    if nshards <= 1:
+        return False
+    if parallel is not None:
+        return parallel
+    # Daemonic workers (the service pool's) may not spawn children.
+    if mp.current_process().daemon:
+        return False
+    return n_events >= PARALLEL_MIN_EVENTS and _available_cpus() > 1
+
+
+def _run_shards(payloads: list, jobs: int, parallel: bool | None) -> list:
+    n_events = sum(len(p[0]) for p in payloads)
+    if not _use_processes(n_events, len(payloads), parallel):
+        return [_analyze_shard(p) for p in payloads]
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(payloads)), mp_context=ctx
+    ) as pool:
+        return list(pool.map(_analyze_shard, payloads))
+
+
+# ---------------------------------------------------------------------------
+# Stitching and merging.
+# ---------------------------------------------------------------------------
+
+
+def _stitch_walks(
+    cuts: list[CutPoint], walks: list[WalkSegment]
+) -> tuple[list, list, list]:
+    """Glue per-shard walk segments into the sequential walk's output."""
+    pieces = list(walks[0].pieces)
+    junctions = list(walks[0].junctions)
+    waits = list(walks[0].waits)
+    for cut, walk in zip(cuts, walks[1:], strict=True):
+        if not walk.pieces or not pieces:
+            raise ShardError(f"empty walk segment at cut position {cut.pos}")
+        prev = pieces[-1]
+        if prev.tid != cut.anchor_tid or prev.end != cut.anchor_time:
+            raise ShardError(
+                f"left shard walk ends at T{prev.tid}@{prev.end!r}, "
+                f"cut anchor is T{cut.anchor_tid}@{cut.anchor_time!r}"
+            )
+        if walk.boundary == "jump":
+            w = walk.waits[0]
+            if w.waker_seq != cut.anchor_seq:
+                raise ShardError(
+                    f"boundary wait resolves to seq {w.waker_seq}, "
+                    f"cut anchor is seq {cut.anchor_seq}"
+                )
+            pieces += walk.pieces
+        else:  # "open": one sequential piece spans the cut
+            first = walk.pieces[0]
+            if first.tid != cut.anchor_tid or first.start < prev.end:
+                raise ShardError(
+                    f"open boundary piece T{first.tid}@{first.start!r} does not "
+                    f"continue anchor T{cut.anchor_tid}@{prev.end!r}"
+                )
+            pieces[-1] = CPPiece(tid=prev.tid, start=prev.start, end=first.end)
+            pieces += walk.pieces[1:]
+        junctions += walk.junctions
+        waits += walk.waits
+    return pieces, junctions, waits
+
+
+def _merge_timelines(
+    shard_timelines: list[dict[int, ThreadTimeline]],
+) -> dict[int, ThreadTimeline]:
+    """Concatenate per-shard timelines into whole-trace ones.
+
+    Shard order is seq order, so concatenating preserves the element
+    order the sequential builder would have produced — which is what
+    keeps every downstream float summation order identical.
+    """
+    merged: dict[int, ThreadTimeline] = {}
+    for timelines in shard_timelines:
+        for tid, tl in timelines.items():
+            base = merged.get(tid)
+            if base is None:
+                merged[tid] = ThreadTimeline(
+                    tid=tl.tid,
+                    name=tl.name,
+                    start=tl.start,
+                    end=tl.end,
+                    creator_tid=tl.creator_tid,
+                    create_time=tl.create_time,
+                    create_seq=tl.create_seq,
+                    waits=list(tl.waits),
+                    holds={obj: list(hs) for obj, hs in tl.holds.items()},
+                )
+                continue
+            base.start = min(base.start, tl.start)
+            base.end = max(base.end, tl.end)
+            if tl.creator_tid is not None:
+                base.creator_tid = tl.creator_tid
+                base.create_time = tl.create_time
+                base.create_seq = tl.create_seq
+            base.waits.extend(tl.waits)
+            for obj, hs in tl.holds.items():
+                base.holds.setdefault(obj, []).extend(hs)
+    for tl in merged.values():
+        for hold_list in tl.holds.values():
+            hold_list.sort(key=lambda h: (h.start, h.end))
+        tl.waits.sort(key=lambda w: w.wake_seq)
+    return {tid: merged[tid] for tid in sorted(merged)}
+
+
+def _merge_wakers(shard_wakers: list[WakerTable]) -> WakerTable:
+    wakes: dict[int, WakeInfo] = {}
+    creations: dict[int, WakeInfo] = {}
+    for wt in shard_wakers:
+        wakes.update(wt.wakes)
+        creations.update(wt.creations)
+    return WakerTable(wakes=wakes, creations=creations)
+
+
+# ---------------------------------------------------------------------------
+# Entry point.
+# ---------------------------------------------------------------------------
+
+
+def analyze_sharded(
+    trace: Trace,
+    jobs: int,
+    parallel: bool | None = None,
+    strict: bool = False,
+) -> AnalysisResult | None:
+    """Analyze a trace in up to ``jobs`` shards split at quiescent cuts.
+
+    Returns ``None`` when the trace has no usable cut point, or (unless
+    ``strict``) when any shard or the stitcher failed — the caller then
+    runs the sequential pass.  ``parallel`` forces worker processes on
+    or off; by default they are used for traces of at least
+    :data:`PARALLEL_MIN_EVENTS` events outside daemonic workers.
+    ``strict`` is the differential oracle's mode: internal failures
+    propagate instead of silently degrading to sequential.
+    """
+    if len(trace) == 0 or jobs <= 1:
+        return None
+    cuts = select_cuts(find_cuts(trace), len(trace), jobs)
+    if not cuts:
+        return None
+    bounds = [0, *(c.pos for c in cuts), len(trace)]
+    payloads = [
+        (
+            trace.records[lo:hi],
+            trace.objects,
+            trace.threads,
+            trace.meta,
+            cut,
+        )
+        for lo, hi, cut in zip(bounds, bounds[1:], [None, *cuts])
+    ]
+    try:
+        results = _run_shards(payloads, jobs, parallel)
+        wakers = _merge_wakers([r[0] for r in results])
+        timelines = _merge_timelines([r[1] for r in results])
+        pieces, junctions, waits = _stitch_walks(cuts, [r[2] for r in results])
+    except ReproError:
+        if strict:
+            raise
+        return None
+    cp = CriticalPath(
+        pieces=pieces,
+        junctions=junctions,
+        waits=waits,
+        trace_duration=trace.duration,
+    )
+    locks = compute_metrics(trace, timelines, cp)
+    threads = compute_thread_stats(timelines, cp)
+    report = AnalysisReport(
+        name=str(trace.meta.get("name", "")),
+        nthreads=len(timelines),
+        duration=trace.duration,
+        cp=cp,
+        locks=locks,
+        thread_stats=threads,
+    )
+    return AnalysisResult(
+        trace=trace,
+        wakers=wakers,
+        timelines=timelines,
+        critical_path=cp,
+        report=report,
+        shards=len(results),
+    )

@@ -200,8 +200,14 @@ def _exec_analyze(paths: list[str], params: dict) -> dict:
     from repro.trace.reader import read_trace
 
     trace = read_trace(paths[0])
-    analysis = analyze(trace, validate=bool(params.get("validate", True)))
+    jobs = params.get("jobs")
+    analysis = analyze(
+        trace,
+        validate=bool(params.get("validate", True)),
+        jobs=int(jobs) if jobs is not None else None,
+    )
     report = analysis.report.to_dict()
+    report["shards"] = analysis.shards
     ranking = sorted(
         (
             {"name": name, "cp_time_frac": m["cp_time_frac"],

@@ -12,6 +12,7 @@ from repro.trace.builder import TraceBuilder
 from repro.trace.digest import file_digest, trace_digest
 from repro.trace.merge import merge_traces
 from repro.trace.reader import read_trace
+from repro.trace.shard import CutPoint, find_cuts, select_cuts
 from repro.trace.stats import TraceStats, compute_trace_stats
 from repro.trace.transform import filter_threads, slice_time
 from repro.trace.writer import write_trace
@@ -34,4 +35,7 @@ __all__ = [
     "validate_trace",
     "trace_digest",
     "file_digest",
+    "CutPoint",
+    "find_cuts",
+    "select_cuts",
 ]

@@ -1,0 +1,259 @@
+"""Quiescent cut-point detection for sharded analysis.
+
+A *cut point* is a position ``pos`` in the record array such that the
+prefix ``records[:pos]`` and suffix ``records[pos:]`` can be analyzed
+independently and stitched back together losslessly (see
+``docs/sharding.md``).  Two trace shapes produce such points:
+
+* **barrier cuts** — the instant right after the *last* BARRIER_ARRIVE
+  of a full-barrier episode in which every live thread participates: at
+  that instant every thread is blocked inside the barrier, so no lock is
+  held, no acquire/cond/join is pending, and the only dependency that
+  crosses the cut is the departs' wake edge to that final arrival (the
+  *anchor*), which the analysis layer re-injects on the right shard;
+* **join cuts** — the position right after a JOIN_END that leaves
+  exactly one live thread: the program has collapsed to a single thread,
+  so the suffix depends on the prefix only through that thread's own
+  program order.
+
+Detection is vectorized: one pass of numpy cumulative balances over the
+whole record array (lock ownership, pending acquires, pending condition
+blocks, pending joins, live threads, created-but-unstarted threads),
+plus a sparse span-cover pass for the two waker rules that can reach
+arbitrarily far back in the trace (JOIN_END -> target's THREAD_EXIT and
+COND_WAKE -> its signal).  A candidate crossed by any such span is
+rejected, which is what keeps per-shard waker resolution *identical* to
+whole-trace resolution rather than merely similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.events import EventType
+from repro.trace.trace import Trace
+
+__all__ = ["CutPoint", "find_cuts", "select_cuts"]
+
+
+@dataclass(frozen=True)
+class CutPoint:
+    """One quiescent position where a trace may be split.
+
+    ``records[:pos]`` is the left shard, ``records[pos:]`` the right.
+    ``anchor_*`` identify the record just before the cut (the episode's
+    final BARRIER_ARRIVE, or the surviving thread's JOIN_END): the only
+    event post-cut wakes may legally resolve to.
+    """
+
+    pos: int
+    kind: str  # "barrier" | "join"
+    anchor_tid: int
+    anchor_time: float
+    anchor_seq: int
+    #: (obj, generation) of the episode for barrier cuts, else None.
+    barrier: tuple[int, int] | None = None
+    #: (tid, arrive time) per participant — re-seeds the right shard's
+    #: pending-barrier state so boundary Waits keep exact start times.
+    arrivals: tuple[tuple[int, float], ...] = field(default=())
+
+
+def _prefix_balance(et: np.ndarray, plus: int, minus: int) -> np.ndarray:
+    delta = (et == plus).astype(np.int64)
+    delta -= et == minus
+    return np.cumsum(delta)
+
+
+def find_cuts(trace: Trace) -> list[CutPoint]:
+    """All quiescent cut points of a trace, in record order."""
+    rec = trace.records
+    n = len(rec)
+    if n < 3:
+        return []
+    et = rec["etype"].astype(np.int64)
+    tid = rec["tid"]
+    obj = rec["obj"].astype(np.int64)
+    arg = rec["arg"].astype(np.int64)
+
+    lock_bal = _prefix_balance(et, int(EventType.OBTAIN), int(EventType.RELEASE))
+    acq_bal = _prefix_balance(et, int(EventType.ACQUIRE), int(EventType.OBTAIN))
+    cond_bal = _prefix_balance(et, int(EventType.COND_BLOCK), int(EventType.COND_WAKE))
+    join_bal = _prefix_balance(et, int(EventType.JOIN_BEGIN), int(EventType.JOIN_END))
+    live = _prefix_balance(et, int(EventType.THREAD_START), int(EventType.THREAD_EXIT))
+
+    # Created-but-unstarted threads: count only THREAD_STARTs whose tid
+    # was announced by a THREAD_CREATE — root threads start unannounced
+    # and must not drive the balance negative.
+    create_mask = et == int(EventType.THREAD_CREATE)
+    start_mask = et == int(EventType.THREAD_START)
+    child_tids = arg[create_mask]
+    child_start = start_mask & np.isin(tid, child_tids)
+    pending_create = np.cumsum(create_mask.astype(np.int64) - child_start)
+
+    quiet = (
+        (lock_bal == 0)
+        & (acq_bal == 0)
+        & (cond_bal == 0)
+        & (join_bal == 0)
+        & (pending_create == 0)
+    )
+
+    cover = _span_cover(trace, et, tid, obj, arg, n)
+
+    cuts: list[CutPoint] = []
+    cuts.extend(_barrier_cuts(rec, et, obj, arg, live, quiet, cover))
+    cuts.extend(_join_cuts(rec, et, live, quiet, cover, n))
+    cuts.sort(key=lambda c: c.pos)
+    return cuts
+
+
+def _span_cover(
+    trace: Trace,
+    et: np.ndarray,
+    tid: np.ndarray,
+    obj: np.ndarray,
+    arg: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """cover[i] > 0 iff some long-range waker dependency crosses cut ``i``.
+
+    Replays the two waker-resolution rules that can reach past any
+    amount of intervening history — JOIN_END -> the target's
+    THREAD_EXIT, and COND_WAKE -> the matching signal (or, per the
+    resolver's documented fallback, the signalling thread's latest
+    event) — and marks every position strictly inside each (waker,
+    wake] span.  These event kinds are rare, so the Python loop touches
+    a handful of rows; the cover itself is one cumsum.
+    """
+    delta = np.zeros(n + 2, dtype=np.int64)
+
+    def add_span(src: int, dst: int) -> None:
+        if src < dst:
+            delta[src + 1] += 1
+            delta[dst + 1] -= 1
+
+    exit_pos: dict[int, int] = {}
+    for p in np.flatnonzero(et == int(EventType.THREAD_EXIT)):
+        exit_pos[int(tid[p])] = int(p)
+    for p in np.flatnonzero(et == int(EventType.JOIN_END)):
+        src = exit_pos.get(int(arg[p]))
+        if src is not None and src < p:
+            add_span(src, int(p))
+
+    cond_rows = np.flatnonzero(
+        (et == int(EventType.COND_WAKE))
+        | (et == int(EventType.COND_SIGNAL))
+        | (et == int(EventType.COND_BROADCAST))
+    )
+    last_signal: dict[int, tuple[int, int]] = {}  # cond obj -> (pos, tid)
+    tid_rows: dict[int, np.ndarray] = {}
+    for p in cond_rows:
+        p = int(p)
+        if et[p] != int(EventType.COND_WAKE):
+            last_signal[int(obj[p])] = (p, int(tid[p]))
+            continue
+        sig = last_signal.get(int(obj[p]))
+        if sig is not None and sig[1] == int(arg[p]):
+            add_span(sig[0], p)
+            continue
+        # Resolver fallback: the signalling thread's latest prior event.
+        g = int(arg[p])
+        rows = tid_rows.get(g)
+        if rows is None:
+            rows = tid_rows[g] = np.flatnonzero(tid == g)
+        i = int(np.searchsorted(rows, p)) - 1
+        if i >= 0:
+            add_span(int(rows[i]), p)
+        # else: whole-trace resolution raises too — nothing to protect.
+
+    return np.cumsum(delta)[: n + 1]
+
+
+def _barrier_cuts(rec, et, obj, arg, live, quiet, cover) -> list[CutPoint]:
+    arrive_pos = np.flatnonzero(et == int(EventType.BARRIER_ARRIVE))
+    if len(arrive_pos) == 0:
+        return []
+    depart_pos = np.flatnonzero(et == int(EventType.BARRIER_DEPART))
+    # Group arrivals/departs per episode key (obj, generation).
+    a_keys = (obj[arrive_pos] << 32) ^ arg[arrive_pos]
+    d_keys = (obj[depart_pos] << 32) ^ arg[depart_pos]
+    uniq, inverse = np.unique(a_keys, return_inverse=True)
+    a_count = np.bincount(inverse, minlength=len(uniq))
+    a_last = np.full(len(uniq), -1, dtype=np.int64)
+    np.maximum.at(a_last, inverse, arrive_pos)
+
+    d_count = np.zeros(len(uniq), dtype=np.int64)
+    d_first = np.full(len(uniq), np.iinfo(np.int64).max, dtype=np.int64)
+    d_idx = np.searchsorted(uniq, d_keys)
+    in_uniq = (d_idx < len(uniq)) & (uniq[np.minimum(d_idx, len(uniq) - 1)] == d_keys)
+    np.add.at(d_count, d_idx[in_uniq], 1)
+    np.minimum.at(d_first, d_idx[in_uniq], depart_pos[in_uniq])
+
+    ok = (
+        (d_count == a_count)  # episode complete (not truncated)
+        & (d_first > a_last)  # no departs recorded before the last arrival
+        & (live[a_last] == a_count)  # every live thread participates
+        & quiet[a_last]  # nothing held or pending at the anchor
+        & (cover[a_last + 1] == 0)  # no long-range dependency crosses
+    )
+    cuts = []
+    order = np.argsort(a_keys, kind="stable")
+    sorted_keys = a_keys[order]
+    group_starts = np.searchsorted(sorted_keys, uniq)
+    for e in np.flatnonzero(ok):
+        anchor = int(a_last[e])
+        members = arrive_pos[order[group_starts[e] : group_starts[e] + a_count[e]]]
+        cuts.append(
+            CutPoint(
+                pos=anchor + 1,
+                kind="barrier",
+                anchor_tid=int(rec["tid"][anchor]),
+                anchor_time=float(rec["time"][anchor]),
+                anchor_seq=int(rec["seq"][anchor]),
+                barrier=(int(obj[anchor]), int(arg[anchor])),
+                arrivals=tuple(
+                    (int(rec["tid"][p]), float(rec["time"][p])) for p in members
+                ),
+            )
+        )
+    return cuts
+
+
+def _join_cuts(rec, et, live, quiet, cover, n) -> list[CutPoint]:
+    mask = (et == int(EventType.JOIN_END)) & (live == 1) & quiet
+    mask[n - 1] = False  # a cut must leave a non-empty right shard
+    cuts = []
+    for p in np.flatnonzero(mask):
+        p = int(p)
+        if cover[p + 1] != 0:
+            continue
+        cuts.append(
+            CutPoint(
+                pos=p + 1,
+                kind="join",
+                anchor_tid=int(rec["tid"][p]),
+                anchor_time=float(rec["time"][p]),
+                anchor_seq=int(rec["seq"][p]),
+            )
+        )
+    return cuts
+
+
+def select_cuts(cuts: list[CutPoint], n_records: int, jobs: int) -> list[CutPoint]:
+    """Pick at most ``jobs - 1`` cuts nearest the ideal even-split positions.
+
+    Shard balance, not shard count, bounds the parallel speedup, so each
+    of the ``jobs - 1`` ideal boundaries ``k * n / jobs`` grabs its
+    closest candidate; duplicates collapse (a trace with one barrier
+    yields one cut however many jobs were requested).
+    """
+    if jobs <= 1 or not cuts or n_records <= 0:
+        return []
+    chosen: dict[int, CutPoint] = {}
+    for k in range(1, jobs):
+        ideal = n_records * k / jobs
+        best = min(cuts, key=lambda c: abs(c.pos - ideal))
+        chosen[best.pos] = best
+    return sorted(chosen.values(), key=lambda c: c.pos)

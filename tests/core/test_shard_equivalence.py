@@ -1,0 +1,117 @@
+"""Sharded analysis must be indistinguishable from sequential analysis.
+
+Property-style coverage of the ``docs/sharding.md`` bit-identity claim:
+for every fuzzed ``repro.check`` program and every built-in workload
+with barriers, ``analyze(trace, jobs=4)`` and ``analyze(trace)`` agree
+byte-for-byte — rendered report, critical-path pieces/junctions, and
+completion time — not merely within a float tolerance.
+"""
+
+import pytest
+
+from repro.check.generator import generate_spec
+from repro.check.interp import run_spec
+from repro.core.analyzer import analyze
+from repro.core.shard import analyze_sharded
+from repro.errors import ReproError
+from repro.trace.shard import find_cuts
+from repro.workloads import get_workload
+
+N_SEEDS = 30
+
+BARRIER_WORKLOADS = [
+    ("synthetic", {"ops_per_thread": 200, "nlocks": 4, "barrier_every": 50}),
+    ("radiosity", {"total_tasks": 80, "iterations": 2}),
+    ("volrend", {"frames": 2, "tiles_per_frame": 48}),
+    ("water-nsquared", {"nmol": 48, "timesteps": 2}),
+]
+
+
+def _assert_identical(seq, sharded) -> None:
+    assert sharded.critical_path.length == seq.critical_path.length
+    assert sharded.critical_path.pieces == seq.critical_path.pieces
+    assert sharded.critical_path.junctions == seq.critical_path.junctions
+    assert sharded.critical_path.waits == seq.critical_path.waits
+    assert sharded.report.render(None) == seq.report.render(None)
+    assert sharded.report.to_dict() == seq.report.to_dict()
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_fuzzed_programs_shard_identically(seed):
+    spec = generate_spec(seed)
+    try:
+        trace = run_spec(spec).trace
+        seq = analyze(trace)
+    except ReproError:
+        pytest.skip("seed produced an unanalyzable program (oracle covers these)")
+    _assert_identical(seq, analyze(trace, jobs=4))
+
+
+@pytest.mark.parametrize(
+    "name,params", BARRIER_WORKLOADS, ids=[n for n, _ in BARRIER_WORKLOADS]
+)
+def test_barrier_workloads_shard_identically(name, params):
+    trace = get_workload(name)(**params).run(nthreads=4, seed=11).trace
+    assert find_cuts(trace), f"{name} should expose barrier cut points"
+    seq = analyze(trace, validate=False)
+    sharded = analyze(trace, validate=False, jobs=4)
+    assert sharded.shards > 1, "sharding should actually engage"
+    _assert_identical(seq, sharded)
+
+
+def test_strict_mode_runs_every_shard():
+    trace = get_workload("synthetic")(
+        ops_per_thread=120, nlocks=3, barrier_every=40
+    ).run(nthreads=4, seed=2).trace
+    seq = analyze(trace, validate=False)
+    sharded = analyze_sharded(trace, jobs=4, parallel=False, strict=True)
+    assert sharded is not None and sharded.shards > 1
+    _assert_identical(seq, sharded)
+
+
+def test_process_pool_path_matches_inline():
+    # Force real worker processes regardless of trace size / CPU count:
+    # the transport (pickling shard payloads and results) must not change
+    # the answer either.
+    trace = get_workload("synthetic")(
+        ops_per_thread=150, nlocks=4, barrier_every=50
+    ).run(nthreads=4, seed=3).trace
+    seq = analyze(trace, validate=False)
+    sharded = analyze_sharded(trace, jobs=4, parallel=True)
+    assert sharded is not None and sharded.shards > 1
+    _assert_identical(seq, sharded)
+
+
+def test_jobs_on_cutless_trace_is_sequential():
+    trace = get_workload("synthetic")(ops_per_thread=50, nlocks=2).run(
+        nthreads=4, seed=4
+    ).trace
+    assert find_cuts(trace) == []
+    result = analyze(trace, validate=False, jobs=4)
+    assert result.shards == 1
+    _assert_identical(analyze(trace, validate=False), result)
+
+
+def test_shards_field_counts_shards():
+    trace = get_workload("synthetic")(
+        ops_per_thread=200, nlocks=4, barrier_every=50
+    ).run(nthreads=4, seed=7).trace
+    result = analyze(trace, validate=False, jobs=3)
+    assert 1 < result.shards <= 3
+
+
+def test_merged_structures_feed_the_event_graph():
+    # AnalysisResult.graph is built lazily from (trace, timelines,
+    # wakers); the merged structures must be as complete as sequential
+    # ones so downstream what-if prediction keeps working.
+    trace = get_workload("synthetic")(
+        ops_per_thread=200, nlocks=4, barrier_every=50
+    ).run(nthreads=4, seed=7).trace
+    seq = analyze(trace, validate=False)
+    sharded = analyze(trace, validate=False, jobs=4)
+    assert sharded.shards > 1
+    assert sharded.graph.completion_time() == seq.graph.completion_time()
+    lock = next(iter(seq.report.locks.values())).name
+    assert sharded.what_if(lock).predicted_time == pytest.approx(
+        seq.what_if(lock).predicted_time
+    )

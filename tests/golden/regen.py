@@ -1,0 +1,30 @@
+"""Regenerate the golden report files in this directory.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Run it only after an *intentional* change to metrics or report
+formatting, then review the resulting diff like any other code change.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from test_golden_reports import CASES, GOLDEN_DIR, render_case  # noqa: E402
+
+
+def main() -> int:
+    for case in sorted(CASES):
+        path = GOLDEN_DIR / f"{case}.txt"
+        text = render_case(case)
+        changed = not path.exists() or path.read_text() != text
+        path.write_text(text)
+        print(f"{'updated' if changed else 'unchanged'}  {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

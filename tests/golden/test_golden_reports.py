@@ -1,0 +1,64 @@
+"""Golden-report regression tests.
+
+Checked-in rendered reports for two representative workloads — the
+paper's hand-checkable ``micro`` example and the barrier-heavy
+``radiosity`` simulation (which engages the sharded analyzer) — pin the
+full text of ``AnalysisResult.render`` so that any change to metrics,
+ordering, or formatting shows up as a readable diff instead of a silent
+drift.  Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+(see CONTRIBUTING.md) and review the diff like any other code change.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.analyzer import analyze
+from repro.trace.writer import write_trace
+from repro.workloads import get_workload
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+#: name -> (workload, params, nthreads, seed).  Keep in sync with the
+#: golden .txt files; regen.py reads this table.
+CASES = {
+    "micro": ("micro", {}, 4, 0),
+    "radiosity": ("radiosity", {"total_tasks": 80, "iterations": 2}, 4, 11),
+}
+
+
+def render_case(case: str) -> str:
+    """The exact text the CLI prints for ``analyze`` on this case."""
+    workload, params, nthreads, seed = CASES[case]
+    trace = get_workload(workload)(**params).run(nthreads=nthreads, seed=seed).trace
+    return analyze(trace).render(10)
+
+
+def _golden(case: str) -> str:
+    path = GOLDEN_DIR / f"{case}.txt"
+    assert path.exists(), f"missing golden file {path}; run tests/golden/regen.py"
+    return path.read_text()
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_report_matches_golden(case):
+    assert render_case(case) == _golden(case)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_cli_analyze_matches_golden(case, tmp_path, capsys):
+    workload, params, nthreads, seed = CASES[case]
+    trace = get_workload(workload)(**params).run(nthreads=nthreads, seed=seed).trace
+    path = tmp_path / f"{case}.clt"
+    write_trace(trace, str(path))
+
+    assert main(["analyze", str(path)]) == 0
+    assert capsys.readouterr().out == _golden(case) + "\n"
+
+    # Sharded analysis must print the very same bytes.
+    assert main(["analyze", str(path), "--jobs", "4"]) == 0
+    assert capsys.readouterr().out == _golden(case) + "\n"

@@ -1,0 +1,271 @@
+"""Cut-point detection edge cases (``repro.trace.shard``).
+
+The sharded analyzer is only as sound as ``find_cuts``: a position it
+returns must be truly quiescent, and traces with no such position must
+degenerate to a single shard rather than split unsafely.  These tests
+pin down the awkward shapes — no barriers at all, a single thread,
+truncation mid-episode, and cuts landing on a pile of equal-timestamp
+events — alongside the ``select_cuts`` balancing policy.
+"""
+
+import numpy as np
+
+from repro.core.analyzer import analyze
+from repro.core.shard import analyze_sharded
+from repro.trace import TraceBuilder
+from repro.trace.events import EventType
+from repro.trace.shard import CutPoint, find_cuts, select_cuts
+from repro.trace.trace import Trace
+from repro.workloads import SyntheticLocks
+
+
+def _truncate_before_first_exit(trace: Trace) -> Trace:
+    # Same shape as the tests/core/test_truncated.py fixture: cut the
+    # record array just before the first THREAD_EXIT, keeping metadata.
+    exits = np.flatnonzero(trace.records["etype"] == int(EventType.THREAD_EXIT))
+    cut = int(exits[0])
+    return Trace(
+        records=trace.records[:cut].copy(),
+        objects=dict(trace.objects),
+        threads=dict(trace.threads),
+        meta=dict(trace.meta),
+    )
+
+
+def _assert_identical(seq, sharded) -> None:
+    assert sharded.critical_path.pieces == seq.critical_path.pieces
+    assert sharded.critical_path.waits == seq.critical_path.waits
+    assert sharded.report.render(None) == seq.report.render(None)
+
+
+# ---------------------------------------------------------------------------
+# Degenerate shapes: no usable cut anywhere.
+# ---------------------------------------------------------------------------
+
+
+def test_no_barriers_means_one_shard():
+    trace = SyntheticLocks(ops_per_thread=60, nlocks=3).run(nthreads=4, seed=9).trace
+    assert find_cuts(trace) == []
+    result = analyze(trace, validate=False, jobs=8)
+    assert result.shards == 1
+    _assert_identical(analyze(trace, validate=False), result)
+
+
+def test_single_thread_trace_has_no_cuts():
+    b = TraceBuilder()
+    lock = b.mutex("L")
+    t0 = b.thread("T0")
+    t0.start(at=0.0)
+    t0.critical_section(lock, acquire=1.0, obtain=1.0, release=2.0)
+    t0.critical_section(lock, acquire=3.0, obtain=3.0, release=4.0)
+    t0.exit(at=5.0)
+    trace = b.build()
+    assert find_cuts(trace) == []
+    assert analyze_sharded(trace, jobs=4) is None
+    assert analyze(trace, jobs=4).shards == 1
+
+
+def test_tiny_trace_has_no_cuts():
+    b = TraceBuilder()
+    t0 = b.thread("T0")
+    t0.start(at=0.0).exit(at=1.0)
+    assert find_cuts(b.build(validate=False)) == []
+
+
+# ---------------------------------------------------------------------------
+# Truncated traces: incomplete episodes must not become cuts.
+# ---------------------------------------------------------------------------
+
+
+def test_truncated_barrier_workload_still_shards_safely():
+    full = SyntheticLocks(ops_per_thread=40, nlocks=3, barrier_every=10).run(
+        nthreads=4, seed=5
+    ).trace
+    trunc = _truncate_before_first_exit(full)
+    cuts = find_cuts(trunc)
+    # Whatever survives truncation must still satisfy strict bit-identity.
+    seq = analyze(trunc, validate=False)
+    sharded = analyze_sharded(trunc, jobs=4, parallel=False, strict=True)
+    if cuts:
+        assert sharded is not None and sharded.shards > 1
+        _assert_identical(seq, sharded)
+    else:
+        assert sharded is None
+
+
+def test_truncated_mid_episode_rejects_the_open_barrier():
+    # Chop the trace right after a BARRIER_ARRIVE so its episode has
+    # arrivals but no departs: an incomplete episode is not quiescent
+    # (its threads are still blocked) and must never be offered as a cut.
+    full = SyntheticLocks(ops_per_thread=40, nlocks=3, barrier_every=10).run(
+        nthreads=4, seed=5
+    ).trace
+    arrives = np.flatnonzero(full.records["etype"] == int(EventType.BARRIER_ARRIVE))
+    pos = int(arrives[len(arrives) // 2])
+    trunc = Trace(
+        records=full.records[: pos + 1].copy(),
+        objects=dict(full.objects),
+        threads=dict(full.threads),
+        meta=dict(full.meta),
+    )
+    tail_obj = int(trunc.records["obj"][pos])
+    tail_gen = int(trunc.records["arg"][pos])
+    for cut in find_cuts(trunc):
+        assert cut.barrier != (tail_obj, tail_gen)
+        assert cut.pos <= pos  # never inside or after the open episode
+
+
+# ---------------------------------------------------------------------------
+# Equal-timestamp pile-ups at the cut position.
+# ---------------------------------------------------------------------------
+
+
+def _equal_timestamp_trace() -> Trace:
+    """Lock handoff, barrier episode and post-barrier acquire all at t=3.
+
+    Emission order controls the tie-break at time 3.0 (events sort by
+    (time, insertion order)): release -> contended obtain -> release ->
+    both arrives -> both departs -> uncontended acquire.  The cut lands
+    right after the second arrive, with same-timestamp records on both
+    sides of it.
+    """
+    b = TraceBuilder()
+    lock = b.mutex("L")
+    bar = b.barrier_obj("B")
+    t0 = b.thread("T0")
+    t1 = b.thread("T1")
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    t0.acquire(lock, at=1.0)
+    t0.release(lock, at=3.0)
+    t1.acquire(lock, at=2.0, obtain=3.0)  # handoff at exactly 3.0
+    t1.release(lock, at=3.0)
+    # Arrives and departs emitted separately so both arrives precede
+    # both departs in insertion order (ThreadScript.barrier would
+    # interleave them and sink the d_first > a_last requirement).
+    t0._emit(3.0, EventType.BARRIER_ARRIVE, obj=bar, arg=0)
+    t1._emit(3.0, EventType.BARRIER_ARRIVE, obj=bar, arg=0)
+    t0._emit(3.0, EventType.BARRIER_DEPART, obj=bar, arg=0)
+    t1._emit(3.0, EventType.BARRIER_DEPART, obj=bar, arg=0)
+    t1.acquire(lock, at=3.0)  # post-cut work at the anchor timestamp
+    t1.release(lock, at=4.0)
+    t0.critical_section(lock, acquire=4.0, obtain=4.5, release=5.0)
+    t0.exit(at=6.0)
+    t1.exit(at=6.0)
+    return b.build()
+
+
+def test_cut_on_equal_timestamp_handoff_is_found():
+    trace = _equal_timestamp_trace()
+    cuts = find_cuts(trace)
+    assert len(cuts) == 1
+    cut = cuts[0]
+    assert cut.kind == "barrier"
+    assert cut.anchor_time == 3.0
+    # pos splits between the last arrive and the first depart, both at 3.0
+    assert trace.records["etype"][cut.pos - 1] == int(EventType.BARRIER_ARRIVE)
+    assert trace.records["etype"][cut.pos] == int(EventType.BARRIER_DEPART)
+    assert float(trace.records["time"][cut.pos]) == cut.anchor_time
+    assert sorted(t for t, _ in cut.arrivals) == [0, 1]
+
+
+def test_cut_on_equal_timestamp_handoff_analyzes_identically():
+    trace = _equal_timestamp_trace()
+    seq = analyze(trace)
+    sharded = analyze_sharded(trace, jobs=2, parallel=False, strict=True)
+    assert sharded is not None and sharded.shards == 2
+    _assert_identical(seq, sharded)
+
+
+def test_interleaved_departs_are_rejected():
+    # The convenience ThreadScript.barrier emits arrive+depart together,
+    # so a same-timestamp episode records a depart *before* the last
+    # arrive — an ordering the stitcher cannot re-inject, which
+    # find_cuts must therefore refuse.
+    b = TraceBuilder()
+    bar = b.barrier_obj("B")
+    t0 = b.thread("T0")
+    t1 = b.thread("T1")
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    t0.barrier(bar, arrive=1.0, depart=1.0)
+    t1.barrier(bar, arrive=1.0, depart=1.0)
+    t0.exit(at=2.0)
+    t1.exit(at=2.0)
+    assert find_cuts(b.build(validate=False)) == []
+
+
+# ---------------------------------------------------------------------------
+# Join cuts.
+# ---------------------------------------------------------------------------
+
+
+def test_join_collapse_to_one_thread_is_a_cut():
+    b = TraceBuilder()
+    lock = b.mutex("L")
+    t0 = b.thread("main")
+    t1 = b.thread("worker")
+    t0.start(at=0.0)
+    t0.create(t1, at=0.5)
+    t1.start(at=1.0)
+    t1.critical_section(lock, acquire=1.5, obtain=1.5, release=2.0)
+    t1.exit(at=2.5)
+    t0.join(t1, begin=1.0, end=2.5)
+    t0.critical_section(lock, acquire=3.0, obtain=3.0, release=4.0)
+    t0.exit(at=5.0)
+    trace = b.build()
+    cuts = find_cuts(trace)
+    assert [c.kind for c in cuts] == ["join"]
+    assert cuts[0].anchor_tid == t0.tid
+    seq = analyze(trace)
+    sharded = analyze_sharded(trace, jobs=2, parallel=False, strict=True)
+    assert sharded is not None and sharded.shards == 2
+    _assert_identical(seq, sharded)
+
+
+def test_join_as_final_record_is_not_a_cut():
+    # A cut at the very end would leave an empty right shard.
+    b = TraceBuilder()
+    t0 = b.thread("main")
+    t1 = b.thread("worker")
+    t0.start(at=0.0)
+    t0.create(t1, at=0.5)
+    t1.start(at=1.0)
+    t1.exit(at=2.0)
+    t0.join(t1, begin=1.0, end=2.5)
+    trace = b.build(validate=False)
+    assert find_cuts(trace) == []
+
+
+# ---------------------------------------------------------------------------
+# select_cuts balancing policy.
+# ---------------------------------------------------------------------------
+
+
+def _cut(pos: int) -> CutPoint:
+    return CutPoint(pos=pos, kind="join", anchor_tid=0, anchor_time=0.0, anchor_seq=pos - 1)
+
+
+def test_select_cuts_picks_nearest_to_even_split():
+    cuts = [_cut(p) for p in (100, 480, 520, 900)]
+    chosen = select_cuts(cuts, n_records=1000, jobs=2)
+    assert [c.pos for c in chosen] == [480]  # nearest to 500
+
+
+def test_select_cuts_collapses_duplicates():
+    cuts = [_cut(500)]
+    chosen = select_cuts(cuts, n_records=1000, jobs=8)
+    assert [c.pos for c in chosen] == [500]
+
+
+def test_select_cuts_caps_at_jobs_minus_one():
+    cuts = [_cut(p) for p in range(50, 1000, 50)]
+    chosen = select_cuts(cuts, n_records=1000, jobs=4)
+    assert len(chosen) == 3
+    assert chosen == sorted(chosen, key=lambda c: c.pos)
+
+
+def test_select_cuts_degenerate_inputs():
+    assert select_cuts([], 1000, 4) == []
+    assert select_cuts([_cut(10)], 1000, 1) == []
+    assert select_cuts([_cut(10)], 0, 4) == []
