@@ -156,6 +156,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrinker evaluation budget per failure (default: %(default)s)",
     )
 
+    lv_p = sub.add_parser(
+        "live",
+        help="tail a growing trace (or a service stream session) and "
+        "render the rolling lock ranking",
+    )
+    lv_p.add_argument("trace", nargs="?", help="trace file to follow (.clt/.cls/.jsonl)")
+    lv_p.add_argument("--service", metavar="URL",
+                      help="poll a service stream session instead of a file")
+    lv_p.add_argument("--session", metavar="SID",
+                      help="stream session id (with --service)")
+    lv_p.add_argument("--top", type=int, default=8, help="locks per table")
+    lv_p.add_argument("--refresh", type=float, default=1.0,
+                      help="seconds between renders (default: %(default)s)")
+    lv_p.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="stop after this long with no new events (default: %(default)s)",
+    )
+    lv_p.add_argument("--once", action="store_true",
+                      help="render a single snapshot and exit")
+
     srv_p = sub.add_parser(
         "serve", help="run the parallel analysis service (HTTP/JSON API)"
     )
@@ -358,6 +378,61 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if run.ok else 1
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    if args.service:
+        return _live_service(args)
+    if not args.trace:
+        raise ReproError("live needs a trace file, or --service with --session")
+    from repro.stream import live_snapshots
+
+    last = None
+    for snap in live_snapshots(
+        args.trace,
+        top=args.top,
+        refresh=args.refresh,
+        timeout=args.timeout,
+        stop=(lambda: True) if args.once else None,
+    ):
+        last = snap
+        if args.once:
+            continue  # only the final (complete) snapshot is wanted
+        print(snap["rendered"])
+        print(f"  [{snap['events']} events, {snap['nlocks']} locks, "
+              f"span {snap['elapsed']:.6g}]")
+        print()
+    if args.once and last is not None:
+        print(last["rendered"])
+        print(f"  [{last['events']} events, {last['nlocks']} locks, "
+              f"span {last['elapsed']:.6g}]")
+    return 0
+
+
+def _live_service(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service.client import ServiceClient
+
+    if not args.session:
+        raise ReproError("--service needs --session SID")
+    client = ServiceClient(args.service)
+    idle_since = _time.monotonic()
+    last_events = -1
+    while True:
+        snap = client.stream_snapshot(args.session, top=args.top, render=True)
+        print(snap.get("rendered", ""))
+        print(f"  [{snap['events']} events, state {snap['state']}, "
+              f"{snap['pending_chunks']} chunks pending]")
+        print()
+        if args.once or snap["state"] != "open":
+            return 0
+        if snap["events"] != last_events:
+            last_events = snap["events"]
+            idle_since = _time.monotonic()
+        elif _time.monotonic() - idle_since > args.timeout:
+            return 0
+        _time.sleep(args.refresh)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
@@ -393,6 +468,7 @@ def main(argv: list[str] | None = None) -> int:
         "whatif": _cmd_whatif,
         "experiment": _cmd_experiment,
         "check": _cmd_check,
+        "live": _cmd_live,
         "serve": _cmd_serve,
         "list": _cmd_list,
     }[args.command]

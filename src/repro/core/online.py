@@ -1,4 +1,4 @@
-"""Online (streaming) lock statistics.
+"""Online (streaming) lock statistics and the incremental estimator.
 
 The paper's future work (§VII) wants critical-lock information *at run
 time* to steer mechanisms like accelerated critical sections.  A full
@@ -15,18 +15,35 @@ be known online, one event at a time, in O(locks) memory:
 On the micro-benchmark the heuristic ranks L2 over L1 — matching the
 offline analysis where the idle-time metric gets it wrong — and the
 exactness of the TYPE 2 counters is tested against the offline metrics.
+
+For streaming ingestion (:mod:`repro.stream`, the service's
+chunked-append path) the analyzer also acts as an **incremental
+estimator**: :meth:`~OnlineAnalyzer.observe_batch` consumes numpy record
+batches as they arrive, :meth:`~OnlineAnalyzer.snapshot` emits a rolling
+JSON view (ranking, contention probabilities, a CP-time estimate), and
+:meth:`~OnlineAnalyzer.reconcile` scores the final estimate against the
+exact batch analyzer's report once the stream is finalized.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 from repro.tables import format_table
 from repro.trace.events import Event, EventType
+from repro.trace.schema import event_from_row
 from repro.trace.trace import Trace
 from repro.units import format_duration, format_percent
 
 __all__ = ["OnlineLockStats", "OnlineAnalyzer"]
+
+#: Integer values of the lock-verb event types (batch fast-path filter).
+_LOCK_VERBS = (
+    int(EventType.ACQUIRE), int(EventType.OBTAIN), int(EventType.RELEASE)
+)
 
 
 @dataclass
@@ -58,12 +75,20 @@ class OnlineAnalyzer:
     def __init__(self, trace_like: Trace | None = None):
         self._locks: dict[int, OnlineLockStats] = {}
         self._names: dict[int, str] = {}
+        self.events_seen = 0
+        self.first_time: float | None = None
+        self.last_time: float | None = None
         if trace_like is not None:
             for info in trace_like.locks:
                 self._names[info.obj] = info.display_name
 
     def observe(self, ev: Event) -> None:
         """Consume one event (must arrive in time order per thread)."""
+        self.events_seen += 1
+        if self.first_time is None or ev.time < self.first_time:
+            self.first_time = ev.time
+        if self.last_time is None or ev.time > self.last_time:
+            self.last_time = ev.time
         if ev.etype not in (EventType.ACQUIRE, EventType.OBTAIN, EventType.RELEASE):
             return
         ls = self._locks.get(ev.obj)
@@ -106,6 +131,48 @@ class OnlineAnalyzer:
             self.observe(ev)
         return self
 
+    def observe_batch(self, records: np.ndarray) -> "OnlineAnalyzer":
+        """Consume one numpy record batch (the streaming ingest path).
+
+        Time bounds and the event count are updated vectorized; only
+        lock-verb rows take the per-event bookkeeping path, so feeding a
+        barrier-heavy trace through here stays cheap.
+        """
+        if len(records) == 0:
+            return self
+        self.events_seen += len(records)
+        times = records["time"]
+        lo = float(times.min())
+        hi = float(times.max())
+        if self.first_time is None or lo < self.first_time:
+            self.first_time = lo
+        if self.last_time is None or hi > self.last_time:
+            self.last_time = hi
+        lock_rows = records[np.isin(records["etype"], _LOCK_VERBS)]
+        # observe() re-counts events and re-checks time bounds; neutralize
+        # the double count rather than forking a second code path.
+        self.events_seen -= len(lock_rows)
+        for row in lock_rows:
+            self.observe(event_from_row(row))
+        return self
+
+    def register_names(self, objects: dict[Any, Any]) -> None:
+        """Adopt display names from a trace header's object table.
+
+        ``objects`` is the JSON-header shape (``{id: {kind, name}}``,
+        string or int keys); already-seen anonymous locks are renamed in
+        place so late headers still fix up early chunks.
+        """
+        for obj, entry in objects.items():
+            obj = int(obj)
+            name = str(entry.get("name", "") or "") if isinstance(entry, dict) else str(entry)
+            if not name:
+                continue
+            self._names[obj] = name
+            ls = self._locks.get(obj)
+            if ls is not None:
+                ls.name = name
+
     # -- queries -------------------------------------------------------------
 
     def stats(self, obj: int) -> OnlineLockStats:
@@ -141,3 +208,105 @@ class OnlineAnalyzer:
             rows,
             title="Online lock statistics (streaming)",
         )
+
+    # -- incremental estimator ------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Time span covered by the events observed so far."""
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        return self.last_time - self.first_time
+
+    def snapshot(self, top: int | None = None) -> dict[str, Any]:
+        """Rolling JSON view of the stream: ranking, cont-prob, CP estimate.
+
+        The per-lock ``est_cp_frac`` is the criticality heuristic scaled
+        by elapsed time — the longest dependent-hold chain is a lower
+        bound on the serialized time the lock will contribute to the
+        eventual critical path, so ``max_chain_time / elapsed``
+        approximates the exact analyzer's ``cp_time_frac`` without a
+        backward walk.  ``cp_time_estimate`` is the span itself: the
+        critical path of a complete trace is exactly its duration; mid-
+        stream it is the best running lower bound.
+        """
+        elapsed = self.elapsed
+        locks = [
+            {
+                "obj": ls.obj,
+                "name": ls.name,
+                "invocations": ls.invocations,
+                "contended": ls.contended,
+                "cont_prob": ls.cont_prob,
+                "wait_time": ls.wait_time,
+                "hold_time": ls.hold_time,
+                "max_chain_time": ls.max_chain_time,
+                "est_cp_frac": (
+                    min(1.0, ls.max_chain_time / elapsed) if elapsed > 0 else 0.0
+                ),
+            }
+            for ls in self.ranking()[:top]
+        ]
+        return {
+            "events": self.events_seen,
+            "elapsed": elapsed,
+            "cp_time_estimate": elapsed,
+            "nlocks": len(self._locks),
+            "locks": locks,
+        }
+
+    def reconcile(self, report: dict[str, Any]) -> dict[str, Any]:
+        """Score the final estimate against the exact batch analyzer.
+
+        ``report`` is an :meth:`AnalysisReport.to_dict` payload (as the
+        service's ``analyze`` job returns).  Exact-by-construction
+        counters (invocations, contention probability) must match;
+        the heuristic ``est_cp_frac`` is reported with its absolute
+        error per lock, plus whether the two rankings agree on the top
+        lock — the question the paper's tool exists to answer.
+        """
+        exact_locks: dict[str, dict[str, Any]] = report.get("locks", {})
+        duration = float(report.get("duration", 0.0))
+        per_lock: dict[str, dict[str, Any]] = {}
+        counters_exact = True
+        for ls in self._locks.values():
+            exact = exact_locks.get(ls.name)
+            if exact is None:
+                counters_exact = False
+                per_lock[ls.name] = {"missing_from_exact": True}
+                continue
+            est = min(1.0, ls.max_chain_time / duration) if duration > 0 else 0.0
+            inv_ok = ls.invocations == int(exact.get("total_invocations", -1))
+            cp_ok = abs(ls.cont_prob - float(exact.get("avg_cont_prob", -1.0))) < 1e-9
+            counters_exact = counters_exact and inv_ok and cp_ok
+            per_lock[ls.name] = {
+                "est_cp_frac": est,
+                "exact_cp_frac": float(exact.get("cp_time_frac", 0.0)),
+                "cp_frac_error": abs(est - float(exact.get("cp_time_frac", 0.0))),
+                "cont_prob": ls.cont_prob,
+                "invocations_match": inv_ok,
+                "cont_prob_match": cp_ok,
+            }
+        ranking_online = [ls.name for ls in self.ranking()]
+        ranking_exact = [
+            name
+            for name, m in sorted(
+                exact_locks.items(),
+                key=lambda kv: kv[1].get("cp_time_frac", 0.0),
+                reverse=True,
+            )
+        ]
+        return {
+            "cp_time_estimate": self.elapsed,
+            "exact_cp_time": duration,
+            "cp_time_error": abs(self.elapsed - duration),
+            "counters_exact": counters_exact,
+            "locks": per_lock,
+            "ranking_online": ranking_online,
+            "ranking_exact": ranking_exact,
+            "top_lock_agrees": (
+                bool(ranking_online)
+                and bool(ranking_exact)
+                and ranking_online[0] == ranking_exact[0]
+            ),
+        }

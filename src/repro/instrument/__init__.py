@@ -36,7 +36,7 @@ Example::
 
 from repro.instrument.autopatch import PatchedThread, patch_threading
 from repro.instrument.clock import Clock, MonotonicClock, VirtualClock
-from repro.instrument.locks import TracedLock, TracedRLock
+from repro.instrument.locks import TracedLock, TracedRLock, TracedSemaphore
 from repro.instrument.barrier import TracedBarrier
 from repro.instrument.condition import TracedCondition
 from repro.instrument.session import ProfilingSession
@@ -49,6 +49,7 @@ __all__ = [
     "ProfilingSession",
     "TracedLock",
     "TracedRLock",
+    "TracedSemaphore",
     "patch_threading",
     "PatchedThread",
     "TracedBarrier",

@@ -3,7 +3,8 @@
 The paper preloads a shared library so *unmodified* applications get
 traced (§IV.A).  Python's equivalent is monkey-patching the factory
 functions in :mod:`threading`: inside :func:`patch_threading`, code that
-calls ``threading.Lock()``, ``threading.RLock()``, ``threading.Barrier``,
+calls ``threading.Lock()``, ``threading.RLock()``, ``threading.Semaphore``,
+``threading.BoundedSemaphore``, ``threading.Barrier``,
 ``threading.Condition`` or ``threading.Thread`` receives traced
 replacements bound to the active session — no source changes needed::
 
@@ -31,7 +32,7 @@ from typing import Any, Callable, Iterator
 
 from repro.instrument.barrier import TracedBarrier
 from repro.instrument.condition import TracedCondition
-from repro.instrument.locks import TracedLock, TracedRLock
+from repro.instrument.locks import TracedLock, TracedRLock, TracedSemaphore
 from repro.instrument.session import ProfilingSession
 from repro.instrument.threads import TracedThread
 
@@ -96,10 +97,12 @@ def _caller_is_interpreter_internal() -> bool:
 @contextlib.contextmanager
 def patch_threading(session: ProfilingSession) -> Iterator[None]:
     """Patch ``threading`` factories to emit into ``session`` (see above)."""
-    counters = {"lock": 0, "rlock": 0, "barrier": 0, "cond": 0}
+    counters = {"lock": 0, "rlock": 0, "sem": 0, "barrier": 0, "cond": 0}
     saved = {
         "Lock": threading.Lock,
         "RLock": threading.RLock,
+        "Semaphore": threading.Semaphore,
+        "BoundedSemaphore": threading.BoundedSemaphore,
         "Barrier": threading.Barrier,
         "Condition": threading.Condition,
         "Thread": threading.Thread,
@@ -116,6 +119,26 @@ def patch_threading(session: ProfilingSession) -> Iterator[None]:
             return saved["RLock"]()
         counters["rlock"] += 1
         return TracedRLock(session, f"RLock#{counters['rlock']}")
+
+    class make_semaphore(saved["Semaphore"]):
+        # A class, not a function: the stdlib's BoundedSemaphore.__init__
+        # resolves the ``Semaphore`` module global at call time and invokes
+        # its ``__init__`` directly, so the patched name must still expose
+        # the real initializer (inherited here) or real bounded semaphores
+        # built inside the patch window come out uninitialized.
+        def __new__(cls, value=1):
+            if _caller_is_interpreter_internal():
+                return saved["Semaphore"](value)
+            counters["sem"] += 1
+            return TracedSemaphore(session, value, f"Semaphore#{counters['sem']}")
+
+    def make_bounded_semaphore(value=1):
+        if _caller_is_interpreter_internal():
+            return saved["BoundedSemaphore"](value)
+        counters["sem"] += 1
+        return TracedSemaphore(
+            session, value, f"Semaphore#{counters['sem']}", bounded=True
+        )
 
     def make_barrier(parties, action=None, timeout=None):
         if _caller_is_interpreter_internal():
@@ -136,6 +159,8 @@ def patch_threading(session: ProfilingSession) -> Iterator[None]:
         return PatchedThread(*args, session=session, **kwargs)
     threading.Lock = make_lock  # type: ignore[misc]
     threading.RLock = make_rlock  # type: ignore[misc]
+    threading.Semaphore = make_semaphore  # type: ignore[misc]
+    threading.BoundedSemaphore = make_bounded_semaphore  # type: ignore[misc]
     threading.Barrier = make_barrier  # type: ignore[misc]
     threading.Condition = make_condition  # type: ignore[misc]
     threading.Thread = make_thread  # type: ignore[misc]

@@ -18,12 +18,14 @@ from repro.trace.events import EventType, ObjectKind
 if TYPE_CHECKING:  # pragma: no cover
     from repro.instrument.session import ProfilingSession
 
-__all__ = ["TracedLock", "TracedRLock"]
+__all__ = ["TracedLock", "TracedRLock", "TracedSemaphore"]
 
 # Originals bound at import time so autopatch interposition cannot recurse
 # into our own constructors (the LD_PRELOAD dlsym(RTLD_NEXT) analog).
 _real_lock_factory = threading.Lock
 _real_rlock_factory = threading.RLock
+_real_semaphore_factory = threading.Semaphore
+_real_bounded_semaphore_factory = threading.BoundedSemaphore
 
 
 class TracedLock:
@@ -135,6 +137,77 @@ class TracedRLock:
         s.emit_here(EventType.RELEASE, obj=self.obj, at_ns=t)
 
     def __enter__(self) -> "TracedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class TracedSemaphore:
+    """Drop-in ``threading.Semaphore``/``BoundedSemaphore`` replacement.
+
+    Same trylock-first protocol as :class:`TracedLock`: a permit taken
+    without blocking is an uncontended OBTAIN; having to wait for one is
+    contended.  With ``value > 1`` several threads legitimately hold
+    permits at once, so the trace can contain overlapping critical
+    sections on the same object — each thread's OBTAIN/RELEASE pair is
+    still well-formed.  A timed-out or failed non-blocking acquire emits
+    nothing: no permit, no critical section, no dangling ACQUIRE.
+    """
+
+    __slots__ = ("session", "obj", "name", "_real")
+
+    def __init__(
+        self,
+        session: "ProfilingSession",
+        value: int = 1,
+        name: str = "",
+        bounded: bool = False,
+    ):
+        self.session = session
+        self.name = name
+        self.obj = session.register_object(ObjectKind.SEMAPHORE, name)
+        factory = (
+            _real_bounded_semaphore_factory if bounded else _real_semaphore_factory
+        )
+        self._real = factory(value)
+
+    def acquire(self, blocking: bool = True, timeout: float | None = None) -> bool:
+        s = self.session
+        if not blocking:
+            got = self._real.acquire(blocking=False)
+            if got:
+                t = s.emit_here(EventType.ACQUIRE, obj=self.obj)
+                s.emit_here(EventType.OBTAIN, obj=self.obj, arg=0, at_ns=t)
+            return got
+        if timeout is not None:
+            t_try = s.clock.now_ns()
+            if self._real.acquire(blocking=False):
+                s.emit_here(EventType.ACQUIRE, obj=self.obj, at_ns=t_try)
+                s.emit_here(EventType.OBTAIN, obj=self.obj, arg=0, at_ns=t_try)
+                return True
+            if not self._real.acquire(True, timeout):
+                return False
+            s.emit_here(EventType.ACQUIRE, obj=self.obj, at_ns=t_try)
+            s.emit_here(EventType.OBTAIN, obj=self.obj, arg=1)
+            return True
+        t_try = s.emit_here(EventType.ACQUIRE, obj=self.obj)
+        if self._real.acquire(blocking=False):
+            s.emit_here(EventType.OBTAIN, obj=self.obj, arg=0, at_ns=t_try)
+            return True
+        self._real.acquire()
+        s.emit_here(EventType.OBTAIN, obj=self.obj, arg=1)
+        return True
+
+    def release(self, n: int = 1) -> None:
+        """Release ``n`` permits (one RELEASE event, like one sem_post)."""
+        s = self.session
+        t = s.clock.now_ns()
+        self._real.release(n)
+        s.emit_here(EventType.RELEASE, obj=self.obj, at_ns=t)
+
+    def __enter__(self) -> "TracedSemaphore":
         self.acquire()
         return self
 

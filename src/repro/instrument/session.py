@@ -6,6 +6,14 @@ assigns thread ids, buffers event records per thread in memory (one
 Python list per thread — appends are GIL-atomic and contention-free) and
 assembles the final :class:`~repro.trace.Trace` when the session closes,
 the analog of the paper's flush-on-completion trace file.
+
+A session can additionally *stream while running*: :meth:`~ProfilingSession.stream_to`
+mirrors every emitted event into a bounded :class:`~repro.stream.EventRing`
+drained by a flusher thread (:mod:`repro.stream`), so a live consumer —
+a ``.cls`` file tail or the analysis service's chunked-append endpoint —
+sees the trace as it grows.  The mirror is lossy under overload (drops
+are counted, never blocking the application); the in-memory buffers and
+the final :meth:`trace` stay complete regardless.
 """
 
 from __future__ import annotations
@@ -45,6 +53,9 @@ class ProfilingSession:
         self._t0_ns = 0
         self._active = False
         self._closed = False
+        self._ring = None  # set by stream_to(); emit() mirrors into it
+        self._flusher = None
+        self.stream_result: Any = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -62,6 +73,8 @@ class ProfilingSession:
         self.emit(tid, EventType.THREAD_EXIT)
         self._active = False
         self._closed = True
+        if self._flusher is not None:
+            self.stream_result = self._flusher.close(self.stream_header())
 
     # -- thread registry ------------------------------------------------------
 
@@ -116,16 +129,18 @@ class ProfilingSession:
     ) -> int:
         """Record one event for thread ``tid``; returns the timestamp used."""
         t_ns = self.clock.now_ns() if at_ns is None else at_ns
-        self._buffers[tid].append(
-            Event(
-                seq=next(self._seq),
-                time=ns_to_time(t_ns - self._t0_ns),
-                tid=tid,
-                etype=etype,
-                obj=obj,
-                arg=arg,
-            )
+        ev = Event(
+            seq=next(self._seq),
+            time=ns_to_time(t_ns - self._t0_ns),
+            tid=tid,
+            etype=etype,
+            obj=obj,
+            arg=arg,
         )
+        self._buffers[tid].append(ev)
+        ring = self._ring
+        if ring is not None:
+            ring.push(ev)  # lossy mirror; drops are counted in the ring
         return t_ns
 
     def emit_here(
@@ -141,6 +156,14 @@ class ProfilingSession:
         from repro.instrument.locks import TracedLock
 
         return TracedLock(self, name)
+
+    def semaphore(
+        self, value: int = 1, name: str = "", bounded: bool = False
+    ) -> "TracedSemaphore":
+        """Create a traced (optionally bounded) counting semaphore."""
+        from repro.instrument.locks import TracedSemaphore
+
+        return TracedSemaphore(self, value, name, bounded=bounded)
 
     def barrier(self, parties: int, name: str = "") -> "TracedBarrier":
         """Create a traced cyclic barrier."""
@@ -165,6 +188,67 @@ class ProfilingSession:
         from repro.instrument.threads import TracedThread
 
         return TracedThread(self, target, args, kwargs or {}, name)
+
+    # -- streaming ----------------------------------------------------------------
+
+    def stream_to(
+        self,
+        sink,
+        *,
+        ring_capacity: int = 65536,
+        interval: float = 0.25,
+        chunk_events: int = 8192,
+    ):
+        """Mirror this session's events into ``sink`` while it runs.
+
+        ``sink`` is any :class:`repro.stream.ChunkSink` (a
+        :class:`~repro.stream.ChunkFileSink` for a tailable ``.cls``
+        file, a :class:`~repro.stream.ServiceSink` for the service's
+        chunked-append endpoint).  Returns the started
+        :class:`~repro.stream.StreamFlusher`; it is closed — final
+        flush + sink finalize with this session's header — automatically
+        when the ``with`` block exits, and the finalize result lands in
+        :attr:`stream_result`.
+
+        Call this before spawning traced threads: events already emitted
+        by the *calling* thread are backfilled into the ring, but events
+        other threads emit concurrently with the attach could miss it.
+        """
+        from repro.stream import EventRing, StreamFlusher
+
+        if self._flusher is not None:
+            raise TraceError("session is already streaming")
+        if self._closed:
+            raise TraceError("session is closed")
+        flusher = StreamFlusher(
+            EventRing(ring_capacity), sink,
+            interval=interval, chunk_events=chunk_events,
+        )
+        self._flusher = flusher
+        # Backfill events emitted before streaming started (e.g. the main
+        # thread's THREAD_START from __enter__), then go live.  Interleaving
+        # with concurrent emits is harmless: finalization re-sorts by
+        # (time, seq), so ring order need not be emission order.
+        with self._registry_lock:
+            backlog = [ev for buf in self._buffers.values() for ev in buf]
+        for ev in sorted(backlog, key=lambda e: e.seq):
+            flusher.ring.push(ev)
+        self._ring = flusher.ring
+        return flusher.start()
+
+    def stream_header(self) -> dict[str, Any]:
+        """JSON header (objects, threads, meta) for stream finalization."""
+        with self._registry_lock:
+            return {
+                "objects": {
+                    str(obj): {"kind": int(info.kind), "name": info.name}
+                    for obj, info in self._objects.items()
+                },
+                "threads": {
+                    str(tid): name for tid, name in self._thread_names.items()
+                },
+                "meta": {"name": self.name, "source": "instrument"},
+            }
 
     # -- assembly -----------------------------------------------------------------
 

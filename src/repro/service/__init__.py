@@ -19,6 +19,7 @@ Layering::
     pool.py     multiprocessing worker pool + supervisor
     cache.py    LRU result cache with disk spill
     store.py    content-addressed trace storage
+    stream.py   chunked-append streaming ingestion sessions
     metrics.py  counters + latency histograms (self-observation)
     client.py   urllib-based HTTP client
 """
@@ -30,12 +31,15 @@ from repro.service.jobs import JOB_KINDS, Job, JobSpec, JobStore, execute
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.pool import WorkerPool
 from repro.service.store import TraceStore
+from repro.service.stream import StreamSession, StreamStore
 
 __all__ = [
     "ServiceAPI",
     "ServiceClient",
     "ResultCache",
     "TraceStore",
+    "StreamStore",
+    "StreamSession",
     "WorkerPool",
     "JobStore",
     "Job",

@@ -18,6 +18,17 @@ Endpoints::
     GET  /reports/<id>      -> finished job's result (409 while pending)
     GET  /metrics           -> queue/cache/latency self-observation
     GET  /healthz           -> {ok: true}
+
+Streaming ingestion (chunked append, :mod:`repro.service.stream`)::
+
+    POST /streams                     {"name","meta","max_pending"} -> 201 session
+    GET  /streams                     -> {streams: [...]}
+    GET  /streams/<id>                -> session status
+    GET  /streams/<id>/snapshot       -> incremental estimator snapshot
+    POST /traces/<session>/chunks     framed record blocks -> 202 ack
+                                       (409 gap, 429 backpressure)
+    POST /traces/<session>/finalize   {"header","analyze","name","params"}
+                                       -> 200 stored trace (+report/reconciliation)
 """
 
 from __future__ import annotations
@@ -28,10 +39,11 @@ from typing import Any
 
 from repro.errors import ServiceError
 from repro.service.cache import ResultCache
-from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobSpec, JobStore
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobSpec, JobStore, execute
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import DEFAULT_START_METHOD, WorkerPool
 from repro.service.store import TraceStore
+from repro.service.stream import StreamStore
 
 __all__ = ["ServiceAPI"]
 
@@ -45,11 +57,15 @@ class ServiceAPI:
         workers: int = 2,
         cache_capacity: int = 256,
         start_method: str = DEFAULT_START_METHOD,
+        max_pending_chunks: int = 64,
     ):
         self.data_dir = Path(data_dir)
         self.store = TraceStore(self.data_dir / "traces")
         self.cache = ResultCache(
             capacity=cache_capacity, disk_dir=self.data_dir / "cache"
+        )
+        self.streams = StreamStore(
+            self.data_dir / "streams", max_pending_chunks=max_pending_chunks
         )
         self.jobs = JobStore()
         self.metrics = ServiceMetrics()
@@ -61,6 +77,7 @@ class ServiceAPI:
         )
 
     def close(self) -> None:
+        self.streams.close()
         self.pool.close()
 
     def __enter__(self):
@@ -96,6 +113,38 @@ class ServiceAPI:
                 return 200, {"traces": [e.to_dict() for e in self.store.list()]}
             case ("GET", ["traces", digest]):
                 return 200, self.store.get(digest).to_dict()
+            case ("POST", ["streams"]):
+                try:
+                    req = json.loads(body or b"{}")
+                except json.JSONDecodeError as exc:
+                    raise ServiceError(f"request body is not JSON: {exc}") from exc
+                session = self.streams.open(
+                    name=str(req.get("name", "")),
+                    meta=req.get("meta") or {},
+                    max_pending=req.get("max_pending"),
+                )
+                self.metrics.count_stream_opened()
+                return 201, session.to_dict()
+            case ("GET", ["streams"]):
+                return 200, {"streams": [s.to_dict() for s in self.streams.list()]}
+            case ("GET", ["streams", sid]):
+                return 200, self.streams.get(sid).to_dict()
+            case ("GET", ["streams", sid, "snapshot"]):
+                top = query.get("top")
+                snap = self.streams.snapshot(
+                    sid, top=int(top) if top is not None else None
+                )
+                if query.get("render"):
+                    snap["rendered"] = self.streams.render_snapshot(sid)
+                return 200, snap
+            case ("POST", ["traces", sid, "chunks"]):
+                return self._append_chunks(sid, body)
+            case ("POST", ["traces", sid, "finalize"]):
+                try:
+                    req = json.loads(body or b"{}")
+                except json.JSONDecodeError as exc:
+                    raise ServiceError(f"request body is not JSON: {exc}") from exc
+                return 200, self.finalize_stream(sid, req)
             case ("POST", ["jobs"]):
                 try:
                     req = json.loads(body or b"{}")
@@ -116,6 +165,66 @@ class ServiceAPI:
                 raise ServiceError(
                     f"no route for {method} /{'/'.join(parts)}", status=404
                 )
+
+    # -- streaming ingestion ---------------------------------------------------
+
+    def _append_chunks(self, sid: str, body: bytes) -> tuple[int, dict[str, Any]]:
+        try:
+            ack = self.streams.append_chunks(sid, body)
+        except ServiceError as exc:
+            if exc.status == 429:
+                self.metrics.count_stream_backpressure()
+            elif exc.status == 409 and "gap" in str(exc):
+                self.metrics.count_stream_gap()
+            raise
+        self.metrics.count_stream_chunks(
+            accepted=ack["accepted"],
+            duplicates=ack["duplicates"],
+            events=ack["accepted_events"],
+            nbytes=len(body),
+        )
+        return 202, ack
+
+    def finalize_stream(self, sid: str, req: dict[str, Any]) -> dict[str, Any]:
+        """Drain a stream, store the assembled trace, optionally analyze.
+
+        The stored trace is content-addressed through the same
+        :class:`TraceStore` as whole-file uploads, so a trace streamed
+        chunk-by-chunk and the identical trace uploaded in one POST get
+        the same digest and hit the same result cache.  With
+        ``analyze: true`` the exact batch analysis runs inline and the
+        incremental estimator's final snapshot is reconciled against it.
+        """
+        if not isinstance(req, dict):
+            raise ServiceError("finalize body must be a JSON object")
+        header = req.get("header") or {}
+        if not isinstance(header, dict):
+            raise ServiceError("'header' must be an object")
+        params = req.get("params", {})
+        if not isinstance(params, dict):
+            raise ServiceError("'params' must be an object")
+        session, trace = self.streams.finalize(
+            sid, header=header, timeout=req.get("timeout")
+        )
+        with session.alock:
+            session.analyzer.register_names(header.get("objects", {}))
+            snapshot = session.analyzer.snapshot()
+        entry = self.store.put_trace(
+            trace, name=req.get("name") or session.name or None
+        )
+        session.digest = entry.digest
+        self.metrics.count_stream_finalized()
+        out: dict[str, Any] = {
+            "trace": entry.to_dict(),
+            "stream": session.to_dict(),
+            "snapshot": snapshot,
+        }
+        if req.get("analyze"):
+            result = execute("analyze", [str(entry.path)], params)
+            out["report"] = result
+            with session.alock:
+                out["reconciliation"] = session.analyzer.reconcile(result)
+        return out
 
     # -- job orchestration ----------------------------------------------------
 
@@ -195,6 +304,7 @@ class ServiceAPI:
         }
         out["cache"] = self.cache.stats()
         out["traces"] = self.store.stats()
+        out["streams"].update(self.streams.stats())
         return out
 
     # -- pool event sink (collector thread) ------------------------------------

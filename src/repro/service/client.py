@@ -19,8 +19,9 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ServiceError
+from repro.trace.framing import encode_records_frame, split_records
 from repro.trace.trace import Trace
-from repro.trace.writer import write_trace
+from repro.trace.writer import header_dict, write_trace
 
 __all__ = ["ServiceClient"]
 
@@ -124,6 +125,91 @@ class ServiceClient:
         if job["state"] == "failed":
             raise ServiceError(f"job {job_id} failed: {job['error']}", status=500)
         return self.report(job_id)["result"]
+
+    # -- streaming ingestion -------------------------------------------------
+
+    def open_stream(
+        self, name: str = "", meta: dict | None = None,
+        max_pending: int | None = None,
+    ) -> str:
+        """Open a chunked-append session; returns the session id."""
+        payload: dict[str, Any] = {"name": name, "meta": meta or {}}
+        if max_pending is not None:
+            payload["max_pending"] = max_pending
+        return self._post_json("/streams", payload)["id"]
+
+    def send_chunk(
+        self, sid: str, chunk_id: int, records, *,
+        retries: int = 8, backoff: float = 0.05,
+    ) -> dict[str, Any]:
+        """Post one framed record block, retrying through 429 backpressure.
+
+        Retries are safe: the service treats an already-applied chunk id
+        as an idempotent duplicate, so a retry after an ambiguous failure
+        cannot double-ingest.
+        """
+        body = encode_records_frame(records, chunk_id)
+        delay = backoff
+        for attempt in range(retries + 1):
+            try:
+                return self._request(
+                    "POST", f"/traces/{sid}/chunks", body,
+                    content_type="application/octet-stream",
+                )
+            except ServiceError as exc:
+                if exc.status != 429 or attempt == retries:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 2.0)
+        raise AssertionError("unreachable")
+
+    def finalize_stream(
+        self, sid: str, header: dict | None = None, *,
+        analyze: bool = False, name: str | None = None,
+        params: dict | None = None, timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Finalize a session into a stored trace (optionally analyzed)."""
+        payload: dict[str, Any] = {"header": header or {}, "analyze": analyze}
+        if name:
+            payload["name"] = name
+        if params:
+            payload["params"] = params
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._post_json(f"/traces/{sid}/finalize", payload)
+
+    def stream_status(self, sid: str) -> dict[str, Any]:
+        return self._get(f"/streams/{sid}")
+
+    def stream_snapshot(
+        self, sid: str, top: int | None = None, render: bool = False
+    ) -> dict[str, Any]:
+        query = []
+        if top is not None:
+            query.append(f"top={top}")
+        if render:
+            query.append("render=1")
+        suffix = f"?{'&'.join(query)}" if query else ""
+        return self._get(f"/streams/{sid}/snapshot{suffix}")
+
+    def streams(self) -> list[dict[str, Any]]:
+        return self._get("/streams")["streams"]
+
+    def stream_trace(
+        self, trace: Trace, chunk_events: int = 65536, *,
+        name: str | None = None, analyze: bool = False,
+        params: dict | None = None,
+    ) -> dict[str, Any]:
+        """Ship a whole trace chunk-by-chunk and finalize; returns the
+        finalize payload (``["trace"]["digest"]`` matches a whole-file
+        upload of the same trace)."""
+        sid = self.open_stream(name=name or "")
+        for chunk_id, block in enumerate(split_records(trace.records, chunk_events)):
+            self.send_chunk(sid, chunk_id, block)
+        return self.finalize_stream(
+            sid, header=header_dict(trace), analyze=analyze,
+            name=name, params=params,
+        )
 
     # -- one-call conveniences ----------------------------------------------
 

@@ -79,6 +79,15 @@ class ServiceMetrics:
         self.cache_short_circuits = 0  # jobs answered at submit time
         self.requests = 0
         self._latency: dict[str, LatencyHistogram] = {}
+        # Streaming ingestion (chunked-append sessions).
+        self.streams_opened = 0
+        self.streams_finalized = 0
+        self.stream_chunks = 0
+        self.stream_duplicate_chunks = 0
+        self.stream_events = 0
+        self.stream_bytes = 0
+        self.stream_backpressure = 0  # 429 rejections
+        self.stream_gaps = 0  # out-of-sequence 409 rejections
 
     def count_request(self) -> None:
         with self._lock:
@@ -101,6 +110,33 @@ class ServiceMetrics:
         with self._lock:
             self.failed[kind] = self.failed.get(kind, 0) + 1
 
+    # -- streaming ingestion --------------------------------------------------
+
+    def count_stream_opened(self) -> None:
+        with self._lock:
+            self.streams_opened += 1
+
+    def count_stream_finalized(self) -> None:
+        with self._lock:
+            self.streams_finalized += 1
+
+    def count_stream_chunks(
+        self, accepted: int, duplicates: int, events: int, nbytes: int
+    ) -> None:
+        with self._lock:
+            self.stream_chunks += accepted
+            self.stream_duplicate_chunks += duplicates
+            self.stream_events += events
+            self.stream_bytes += nbytes
+
+    def count_stream_backpressure(self) -> None:
+        with self._lock:
+            self.stream_backpressure += 1
+
+    def count_stream_gap(self) -> None:
+        with self._lock:
+            self.stream_gaps += 1
+
     def to_dict(self) -> dict[str, Any]:
         with self._lock:
             return {
@@ -111,6 +147,16 @@ class ServiceMetrics:
                     "completed": dict(self.completed),
                     "failed": dict(self.failed),
                     "cache_short_circuits": self.cache_short_circuits,
+                },
+                "streams": {
+                    "opened": self.streams_opened,
+                    "finalized": self.streams_finalized,
+                    "chunks": self.stream_chunks,
+                    "duplicate_chunks": self.stream_duplicate_chunks,
+                    "events": self.stream_events,
+                    "bytes": self.stream_bytes,
+                    "backpressure_429": self.stream_backpressure,
+                    "sequence_gaps": self.stream_gaps,
                 },
                 "latency": {k: h.to_dict() for k, h in self._latency.items()},
             }

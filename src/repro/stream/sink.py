@@ -1,0 +1,99 @@
+"""Chunk sinks: where the flusher's framed record blocks go.
+
+Both sinks speak the same two-call protocol — :meth:`write_chunk` per
+record batch, one :meth:`finalize` with the trace header — and both
+assign sequential chunk ids, which is what makes retries idempotent on
+the service side.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.trace.framing import encode_records_frame, encode_trailer_frame
+
+__all__ = ["ChunkSink", "ChunkFileSink", "ServiceSink"]
+
+
+class ChunkSink:
+    """Protocol base: sequentially-numbered chunks, one finalize."""
+
+    def write_chunk(self, records: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def finalize(self, header: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+
+class ChunkFileSink(ChunkSink):
+    """Append framed chunks to a ``.cls`` stream container on disk.
+
+    The file is readable *while growing* via
+    :func:`repro.trace.read_trace` / ``iter_trace_chunks(follow=True)``;
+    :meth:`finalize` writes the trailer frame (the JSON header) that
+    marks it complete.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = open(self.path, "wb")
+        self._next = 0
+        self.chunks = 0
+        self.events = 0
+
+    def write_chunk(self, records: np.ndarray) -> None:
+        self._fh.write(encode_records_frame(records, self._next))
+        self._fh.flush()
+        self._next += 1
+        self.chunks += 1
+        self.events += len(records)
+
+    def finalize(self, header: dict[str, Any]) -> Path:
+        self._fh.write(encode_trailer_frame(header, self._next))
+        self._fh.flush()
+        self._fh.close()
+        return self.path
+
+    def abort(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class ServiceSink(ChunkSink):
+    """Ship chunks to the analysis service's chunked-append endpoint.
+
+    Backpressure (429) is handled inside
+    :meth:`~repro.service.client.ServiceClient.send_chunk` — the sink
+    retries with exponential backoff, and a retried chunk id is an
+    idempotent duplicate server-side.
+    """
+
+    def __init__(
+        self,
+        client,
+        name: str = "",
+        meta: dict | None = None,
+        analyze: bool = False,
+        params: dict | None = None,
+    ):
+        self.client = client
+        self.session_id = client.open_stream(name=name, meta=meta)
+        self.analyze = analyze
+        self.params = params
+        self._next = 0
+        self.chunks = 0
+        self.events = 0
+
+    def write_chunk(self, records: np.ndarray) -> None:
+        self.client.send_chunk(self.session_id, self._next, records)
+        self._next += 1
+        self.chunks += 1
+        self.events += len(records)
+
+    def finalize(self, header: dict[str, Any]) -> dict[str, Any]:
+        return self.client.finalize_stream(
+            self.session_id, header, analyze=self.analyze, params=self.params
+        )

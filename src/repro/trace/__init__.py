@@ -10,8 +10,18 @@ from repro.trace.events import Event, EventType, ObjectKind
 from repro.trace.trace import ObjectInfo, Trace
 from repro.trace.builder import TraceBuilder
 from repro.trace.digest import file_digest, trace_digest
+from repro.trace.framing import (
+    CHUNK_MAGIC,
+    Frame,
+    decode_frame,
+    encode_records_frame,
+    encode_trailer_frame,
+    iter_frames,
+    sort_stream_records,
+    split_records,
+)
 from repro.trace.merge import merge_traces
-from repro.trace.reader import read_trace
+from repro.trace.reader import iter_trace_chunks, read_trace
 from repro.trace.shard import CutPoint, find_cuts, select_cuts
 from repro.trace.stats import TraceStats, compute_trace_stats
 from repro.trace.transform import filter_threads, slice_time
@@ -26,6 +36,15 @@ __all__ = [
     "Trace",
     "TraceBuilder",
     "read_trace",
+    "iter_trace_chunks",
+    "CHUNK_MAGIC",
+    "Frame",
+    "decode_frame",
+    "encode_records_frame",
+    "encode_trailer_frame",
+    "iter_frames",
+    "split_records",
+    "sort_stream_records",
     "merge_traces",
     "slice_time",
     "filter_threads",

@@ -20,6 +20,7 @@ import struct
 from pathlib import Path
 from typing import Any
 
+from repro.errors import TraceFormatError
 from repro.trace.events import EventType
 from repro.trace.trace import ObjectInfo, Trace
 
@@ -27,6 +28,9 @@ __all__ = ["MAGIC", "write_trace", "header_dict"]
 
 MAGIC = b"CLTRACE1"
 _LEN_FMT = "<Q"
+
+#: suffix -> format implied when ``fmt`` is not given.
+_SUFFIX_FORMATS = {".clt": "clt", ".jsonl": "jsonl"}
 
 
 def header_dict(trace: Trace) -> dict[str, Any]:
@@ -42,13 +46,30 @@ def header_dict(trace: Trace) -> dict[str, Any]:
     }
 
 
-def write_trace(trace: Trace, path: str | Path) -> Path:
-    """Write a trace to ``path``; format chosen by suffix (.clt or .jsonl)."""
+def write_trace(trace: Trace, path: str | Path, fmt: str | None = None) -> Path:
+    """Write a trace to ``path``.
+
+    ``fmt`` is ``"clt"`` (binary) or ``"jsonl"``; when omitted it is
+    inferred from the suffix.  Any *other* suffix without an explicit
+    ``fmt`` raises: silently writing the binary format into ``x.json``
+    produces a file that lies about its own content.  (Reading is
+    unaffected — :func:`repro.trace.read_trace` sniffs magic bytes, not
+    suffixes.)
+    """
     path = Path(path)
-    if path.suffix == ".jsonl":
+    if fmt is None:
+        fmt = _SUFFIX_FORMATS.get(path.suffix)
+        if fmt is None:
+            raise TraceFormatError(
+                f"{path}: ambiguous suffix {path.suffix!r} — pass "
+                "fmt='clt' or fmt='jsonl' to write_trace"
+            )
+    if fmt == "jsonl":
         _write_jsonl(trace, path)
-    else:
+    elif fmt == "clt":
         _write_binary(trace, path)
+    else:
+        raise TraceFormatError(f"unknown trace format {fmt!r}; expected 'clt' or 'jsonl'")
     return path
 
 

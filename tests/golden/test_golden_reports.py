@@ -50,6 +50,41 @@ def test_report_matches_golden(case):
 
 
 @pytest.mark.parametrize("case", sorted(CASES))
+def test_streamed_report_matches_golden(case, tmp_path):
+    """Chunk-streaming a golden trace into the service and finalizing must
+    reproduce the checked-in report byte for byte — the streaming path is
+    not allowed to change the answer."""
+    import json
+    import time
+
+    from repro.service.api import ServiceAPI
+    from repro.trace.framing import encode_records_frame, split_records
+    from repro.trace.writer import header_dict
+
+    workload, params, nthreads, seed = CASES[case]
+    trace = get_workload(workload)(**params).run(nthreads=nthreads, seed=seed).trace
+    with ServiceAPI(tmp_path / "svc", workers=0) as api:
+        _, session = api.handle("POST", "/streams", json.dumps({}).encode())
+        sid = session["id"]
+        for cid, block in enumerate(split_records(trace.records, 4096)):
+            body = encode_records_frame(block, cid)
+            while True:
+                status, _ = api.handle("POST", f"/traces/{sid}/chunks", body)
+                if status == 202:
+                    break
+                assert status == 429
+                time.sleep(0.005)
+        status, fin = api.handle(
+            "POST",
+            f"/traces/{sid}/finalize",
+            json.dumps({"header": header_dict(trace), "analyze": True,
+                        "params": {"render": True, "top": 10}}).encode(),
+        )
+    assert status == 200, fin
+    assert fin["report"]["rendered"] == _golden(case)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
 def test_cli_analyze_matches_golden(case, tmp_path, capsys):
     workload, params, nthreads, seed = CASES[case]
     trace = get_workload(workload)(**params).run(nthreads=nthreads, seed=seed).trace

@@ -1,0 +1,158 @@
+"""TracedSemaphore: protocol, contention, autopatch interposition.
+
+Regression tests for the autopatch gap where ``threading.Semaphore`` and
+``threading.BoundedSemaphore`` created inside a patch window were left
+untraced — semaphore-guarded resource pools produced traces with the
+bottleneck missing entirely.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.instrument import ProfilingSession, TracedSemaphore, patch_threading
+from repro.trace.events import EventType, ObjectKind
+
+
+def test_uncontended_permit_not_flagged():
+    with ProfilingSession() as s:
+        sem = s.semaphore(2, "pool")
+        with sem:
+            pass
+    trace = s.trace()
+    obtain = next(ev for ev in trace if ev.etype == EventType.OBTAIN)
+    assert obtain.arg == 0
+    assert trace.objects[sem.obj].kind == ObjectKind.SEMAPHORE
+
+
+def test_contention_when_permits_exhausted():
+    with ProfilingSession() as s:
+        sem = s.semaphore(1, "pool")
+
+        def holder():
+            with sem:
+                time.sleep(0.05)
+
+        def waiter():
+            time.sleep(0.01)
+            with sem:
+                pass
+
+        threads = [s.thread(holder), s.thread(waiter)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    trace = s.trace()
+    contended = [ev for ev in trace if ev.etype == EventType.OBTAIN and ev.arg == 1]
+    assert len(contended) == 1
+
+
+def test_value_two_admits_two_without_contention():
+    with ProfilingSession() as s:
+        sem = s.semaphore(2, "pool")
+        barrier = threading.Barrier(2)  # real barrier, untraced on purpose
+
+        def worker():
+            with sem:
+                barrier.wait(timeout=5.0)  # both inside simultaneously
+
+        threads = [s.thread(worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    trace = s.trace()
+    obtains = [ev for ev in trace if ev.etype == EventType.OBTAIN]
+    assert len(obtains) == 2
+    assert all(ev.arg == 0 for ev in obtains)
+
+
+def test_failed_nonblocking_acquire_emits_nothing():
+    with ProfilingSession() as s:
+        sem = s.semaphore(1, "pool")
+        assert sem.acquire(blocking=False)
+        got = sem.acquire(blocking=False)
+        assert not got
+        sem.release()
+    trace = s.trace()
+    sem_events = [ev for ev in trace if ev.obj == sem.obj]
+    # exactly one acquire/obtain/release triple, nothing for the failure
+    assert [ev.etype for ev in sem_events] == [
+        EventType.ACQUIRE, EventType.OBTAIN, EventType.RELEASE
+    ]
+
+
+def test_timeout_expiry_emits_nothing():
+    with ProfilingSession() as s:
+        sem = s.semaphore(1, "pool")
+        sem.acquire()
+        assert not sem.acquire(timeout=0.01)
+        sem.release()
+    trace = s.trace()
+    sem_events = [ev for ev in trace if ev.obj == sem.obj]
+    assert [ev.etype for ev in sem_events] == [
+        EventType.ACQUIRE, EventType.OBTAIN, EventType.RELEASE
+    ]
+
+
+def test_bounded_semaphore_still_bounded():
+    with ProfilingSession() as s:
+        sem = s.semaphore(1, "b", bounded=True)
+        with sem:
+            pass
+        with pytest.raises(ValueError):
+            sem.release()
+
+
+class TestAutopatch:
+    def test_semaphore_patched(self):
+        with ProfilingSession() as s:
+            with patch_threading(s):
+                sem = threading.Semaphore(1)
+                assert isinstance(sem, TracedSemaphore)
+                with sem:
+                    pass
+        trace = s.trace()
+        assert any(
+            info.kind == ObjectKind.SEMAPHORE for info in trace.objects.values()
+        )
+        assert any(ev.etype == EventType.OBTAIN for ev in trace)
+
+    def test_bounded_semaphore_patched(self):
+        with ProfilingSession() as s:
+            with patch_threading(s):
+                sem = threading.BoundedSemaphore(1)
+                assert isinstance(sem, TracedSemaphore)
+                with sem:
+                    pass
+                with pytest.raises(ValueError):
+                    sem.release()
+
+    def test_patch_restores_factories(self):
+        before = (threading.Semaphore, threading.BoundedSemaphore)
+        with ProfilingSession() as s:
+            with patch_threading(s):
+                pass
+        assert (threading.Semaphore, threading.BoundedSemaphore) == before
+
+    def test_semaphore_contention_visible_in_analysis(self):
+        from repro.core.analyzer import analyze
+
+        with ProfilingSession() as s:
+            with patch_threading(s):
+                sem = threading.Semaphore(1)
+
+                def worker():
+                    for _ in range(5):
+                        with sem:
+                            time.sleep(0.002)
+
+                threads = [threading.Thread(target=worker) for _ in range(3)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        report = analyze(s.trace()).report
+        assert report.lock("Semaphore#1").total_invocations == 15

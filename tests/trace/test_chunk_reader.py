@@ -1,0 +1,124 @@
+"""Incremental trace reading: iter_trace_chunks, tail-follow mode."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.framing import encode_records_frame, encode_trailer_frame
+from repro.trace.reader import iter_trace_chunks
+from repro.trace.schema import EVENT_DTYPE
+from repro.trace.writer import header_dict, write_trace
+
+
+def _collect(path, **kw):
+    batches = list(iter_trace_chunks(path, **kw))
+    return np.concatenate(batches) if batches else np.empty(0, EVENT_DTYPE)
+
+
+class TestBatchedRead:
+    def test_clt_chunks_cover_trace(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.clt")
+        got = _collect(path, chunk_events=5)
+        assert np.array_equal(got, micro_trace.records)
+
+    def test_jsonl_chunks_cover_trace(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.jsonl")
+        got = _collect(path, chunk_events=5)
+        assert np.array_equal(got, micro_trace.records)
+
+    def test_cls_chunks_cover_trace(self, micro_trace, tmp_path):
+        path = tmp_path / "t.cls"
+        with open(path, "wb") as fh:
+            fh.write(encode_records_frame(micro_trace.records[:10], 0))
+            fh.write(encode_records_frame(micro_trace.records[10:], 1))
+            fh.write(encode_trailer_frame(header_dict(micro_trace), 2))
+        got = _collect(path)
+        assert np.array_equal(got, micro_trace.records)
+
+    def test_chunk_sizes_respected(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.clt")
+        batches = list(iter_trace_chunks(path, chunk_events=5))
+        assert all(len(b) <= 5 for b in batches)
+        assert sum(len(b) for b in batches) == len(micro_trace)
+
+    def test_partial_trailing_record_rejected(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.clt")
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(TraceFormatError, match="trailing bytes"):
+            _collect(path)
+
+
+class TestFollow:
+    def test_follow_sees_appended_records(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "grow.clt")
+        half = len(micro_trace.records) // 2
+        blob = path.read_bytes()
+        cut = len(blob) - (len(micro_trace.records) - half) * EVENT_DTYPE.itemsize
+        path.write_bytes(blob[:cut])
+
+        def grow():
+            time.sleep(0.1)
+            with open(path, "ab") as fh:
+                fh.write(blob[cut:])
+
+        t = threading.Thread(target=grow)
+        t.start()
+        got = _collect(
+            path, chunk_events=8, follow=True, poll_interval=0.02, timeout=1.0
+        )
+        t.join()
+        assert np.array_equal(got, micro_trace.records)
+
+    def test_follow_cls_stops_at_trailer(self, micro_trace, tmp_path):
+        path = tmp_path / "grow.cls"
+        with open(path, "wb") as fh:
+            fh.write(encode_records_frame(micro_trace.records[:10], 0))
+
+        def finish():
+            time.sleep(0.1)
+            with open(path, "ab") as fh:
+                fh.write(encode_records_frame(micro_trace.records[10:], 1))
+                fh.write(encode_trailer_frame(header_dict(micro_trace), 2))
+
+        t = threading.Thread(target=finish)
+        t.start()
+        # No timeout needed: the trailer ends the iteration.
+        got = _collect(path, follow=True, poll_interval=0.02, timeout=5.0)
+        t.join()
+        assert np.array_equal(got, micro_trace.records)
+
+    def test_follow_idle_timeout_ends_iteration(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.clt")
+        start = time.monotonic()
+        got = _collect(path, follow=True, poll_interval=0.02, timeout=0.15)
+        assert np.array_equal(got, micro_trace.records)
+        assert time.monotonic() - start < 5.0
+
+    def test_follow_stop_callback(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.clt")
+        got = _collect(
+            path, follow=True, poll_interval=0.02, stop=lambda: True
+        )
+        assert np.array_equal(got, micro_trace.records)
+
+    def test_follow_jsonl_growing(self, micro_trace, tmp_path):
+        src = write_trace(micro_trace, tmp_path / "full.jsonl")
+        lines = src.read_text().splitlines(keepends=True)
+        path = tmp_path / "grow.jsonl"
+        path.write_text("".join(lines[:8]))
+
+        def grow():
+            time.sleep(0.1)
+            with open(path, "a") as fh:
+                fh.write("".join(lines[8:]))
+
+        t = threading.Thread(target=grow)
+        t.start()
+        got = _collect(
+            path, chunk_events=4, follow=True, poll_interval=0.02, timeout=1.0
+        )
+        t.join()
+        assert np.array_equal(got, micro_trace.records)

@@ -24,7 +24,7 @@ class TestBinaryFormat:
         assert_traces_equal(micro_trace, read_trace(path))
 
     def test_sniffing_ignores_extension(self, micro_trace, tmp_path):
-        path = write_trace(micro_trace, tmp_path / "t.bin")
+        path = write_trace(micro_trace, tmp_path / "t.bin", fmt="clt")
         assert_traces_equal(micro_trace, read_trace(path))
 
     def test_truncated_body_rejected(self, micro_trace, tmp_path):
@@ -85,6 +85,31 @@ def test_metadata_preserved(micro_trace, tmp_path):
     assert trace.meta["name"] == "micro"
     assert trace.objects[0].name == "L1"
     assert trace.threads[0] == "worker-0"
+
+
+class TestExplicitFormat:
+    """write_trace(fmt=) and the ambiguous-suffix guard."""
+
+    def test_ambiguous_suffix_rejected(self, micro_trace, tmp_path):
+        with pytest.raises(TraceFormatError, match="ambiguous suffix"):
+            write_trace(micro_trace, tmp_path / "t.json")
+
+    def test_no_suffix_rejected(self, micro_trace, tmp_path):
+        with pytest.raises(TraceFormatError, match="ambiguous suffix"):
+            write_trace(micro_trace, tmp_path / "trace")
+
+    def test_explicit_fmt_overrides_suffix(self, micro_trace, tmp_path):
+        path = write_trace(micro_trace, tmp_path / "t.json", fmt="jsonl")
+        assert path.read_text().startswith('{"header"')
+        assert_traces_equal(micro_trace, read_trace(path))
+
+    def test_unknown_fmt_rejected(self, micro_trace, tmp_path):
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            write_trace(micro_trace, tmp_path / "t.clt", fmt="csv")
+
+    def test_known_suffixes_still_infer(self, micro_trace, tmp_path):
+        assert write_trace(micro_trace, tmp_path / "a.clt").exists()
+        assert write_trace(micro_trace, tmp_path / "a.jsonl").exists()
 
 
 class TestFormatSniffing:
