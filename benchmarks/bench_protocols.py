@@ -1,0 +1,148 @@
+"""Protocol & scheduler what-if forecast matrix over the golden workloads.
+
+Standalone script (not a pytest bench — CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_protocols.py --quick
+    PYTHONPATH=src python benchmarks/bench_protocols.py --json BENCH_PROTOCOLS.json
+
+For each golden case (``tests/golden``) the script first proves replay
+fidelity — the ``recorded`` identity protocol must reproduce the traced
+completion time exactly — and then sweeps ``forecast_matrix`` over every
+lock protocol x ready-queue scheduler, reporting predicted gains and
+critical-lock re-rankings.  The headline assertion (``--require-rerank``,
+on by default) is the EXPERIMENTS.md result: on the rwlock-heavy ``ldap``
+case, reader-preference re-ranks the critical lock
+(``entry_lock[0] -> entry_lock[1]``) with a positive end-to-end gain,
+while FIFO replay stays a no-op everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.replay_whatif import forecast_matrix, replay_identity
+from repro.sim import available_protocols, available_schedulers
+from repro.workloads import get_workload
+
+#: Keep in sync with tests/golden/test_golden_reports.py::CASES.
+CASES = {
+    "micro": ("micro", {}, 4, 0),
+    "radiosity": ("radiosity", {"total_tasks": 80, "iterations": 2}, 4, 11),
+    "ldap": (
+        "openldap",
+        {"requests": 150, "nbuckets": 2, "write_prob": 0.35,
+         "write_cost": 0.12, "lookup_cost": 0.04},
+        6,
+        1,
+    ),
+}
+
+
+def build_trace(case: str):
+    workload, params, nthreads, seed = CASES[case]
+    return get_workload(workload)(**params).run(nthreads=nthreads, seed=seed).trace
+
+
+def run_case(case: str, schedulers: list[str]) -> dict:
+    trace = build_trace(case)
+
+    t0 = time.perf_counter()
+    identity = replay_identity(trace)
+    t_identity = time.perf_counter() - t0
+    faithful = identity.completion_time == trace.duration
+
+    t0 = time.perf_counter()
+    forecasts = forecast_matrix(trace, schedulers=schedulers)
+    t_matrix = time.perf_counter() - t0
+
+    return {
+        "case": case,
+        "events": len(trace),
+        "duration": trace.duration,
+        "identity_faithful": faithful,
+        "identity_replay_s": round(t_identity, 4),
+        "matrix_s": round(t_matrix, 4),
+        "forecasts": [
+            {
+                "protocol": f.protocol,
+                "scheduler": f.scheduler,
+                "predicted_time": f.predicted_time,
+                "gain": round(f.predicted_gain, 6),
+                "speedup": round(f.predicted_speedup, 4),
+                "critical_lock": f.predicted_critical_lock,
+                "reranked": f.reranked,
+            }
+            for f in forecasts
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="micro + ldap only, FIFO scheduler only (CI smoke job)")
+    ap.add_argument("--schedulers", nargs="*", default=None, metavar="NAME",
+                    help="scheduler subset (default: all; --quick: fifo)")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the numbers as JSON (perf trajectory)")
+    ap.add_argument("--no-require-rerank", dest="require_rerank",
+                    action="store_false", default=True,
+                    help="skip the ldap reader-pref re-rank assertion")
+    args = ap.parse_args(argv)
+
+    cases = ["micro", "ldap"] if args.quick else list(CASES)
+    schedulers = args.schedulers
+    if schedulers is None:
+        schedulers = ["fifo"] if args.quick else available_schedulers()
+
+    print(f"protocols: {', '.join(p for p in available_protocols() if p != 'recorded')}")
+    print(f"schedulers: {', '.join(schedulers)}")
+
+    results, failed = [], False
+    for case in cases:
+        res = run_case(case, schedulers)
+        results.append(res)
+        tag = "ok" if res["identity_faithful"] else "FAIL"
+        print(f"\n{case}: {res['events']} events, duration {res['duration']:.4f}; "
+              f"identity replay {tag} ({res['identity_replay_s']:.2f}s), "
+              f"matrix of {len(res['forecasts'])} in {res['matrix_s']:.2f}s")
+        if not res["identity_faithful"]:
+            failed = True
+        for f in res["forecasts"]:
+            mark = "  RE-RANK" if f["reranked"] else ""
+            print(f"  {f['protocol']:12s} x {f['scheduler']:8s} "
+                  f"gain {f['gain']:+8.2%}  crit {f['critical_lock']}{mark}")
+
+    if args.require_rerank and "ldap" in cases:
+        ldap = next(r for r in results if r["case"] == "ldap")
+        hit = [f for f in ldap["forecasts"]
+               if f["protocol"] == "reader-pref" and f["scheduler"] == "fifo"]
+        if not (hit and hit[0]["reranked"] and hit[0]["gain"] > 0):
+            print("FAIL: ldap reader-pref did not re-rank the critical lock "
+                  "with a positive gain", file=sys.stderr)
+            failed = True
+        else:
+            print(f"\nok: ldap reader-pref re-ranks the critical lock "
+                  f"({hit[0]['critical_lock']}, {hit[0]['gain']:+.2%})")
+
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(
+                {"bench": "protocols", "quick": args.quick,
+                 "schedulers": schedulers, "cases": results},
+                f, indent=2,
+            )
+            f.write("\n")
+        print(f"numbers written to {args.json}")
+
+    if failed:
+        return 1
+    print("ok: identity replay faithful on every case")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

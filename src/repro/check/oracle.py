@@ -26,6 +26,10 @@ layers, and returns one :class:`Discrepancy` per violated invariant
                    pass: same pieces, junctions, completion time,
                    per-lock CP time % and contention probability, and
                    byte-equal rendered report
+``replay-identity`` reconstructing the trace into a schedulable program
+                   and re-running it under the ``recorded`` identity
+                   protocol reproduces the baseline completion time and
+                   the critical-lock ranking bit-identically
 ``analysis-error`` the pipeline raised instead of producing a result
 """
 
@@ -190,6 +194,9 @@ def check_trace(trace: Trace, has_nested_holds: bool = True) -> list[Discrepancy
 
     # -- shard-equiv
     out += _check_shard(trace, result)
+
+    # -- replay-identity
+    out += _check_replay_identity(trace, result)
 
     return out
 
@@ -475,6 +482,69 @@ def _check_shard(trace: Trace, result) -> list[Discrepancy]:
             )
     if sharded.report.render(None) != result.report.render(None):
         out.append(Discrepancy("shard-equiv", "rendered reports are not byte-equal"))
+    return out
+
+
+def _check_replay_identity(trace: Trace, result) -> list[Discrepancy]:
+    """Identity replay must reproduce the baseline answer exactly.
+
+    The trace is reconstructed into a schedulable program
+    (:mod:`repro.replay`) and re-run under the ``recorded`` protocol,
+    which forces every contended grant and condition wake-up back into
+    its recorded order.  A faithful replay layer makes this a no-op, so
+    the completion time must match bit-for-bit and the critical-lock
+    ranking — ``(name, cp_fraction)`` in TYPE 1 order — must be
+    identical.  (The full report is *not* compared: at tied timestamps
+    the replayed event sequence can legitimately renumber critical-path
+    pieces without changing any ranking or metric the tool reports.)
+    This is the fidelity guarantee the protocol what-if forecasts
+    (:mod:`repro.core.replay_whatif`) rest on.
+    """
+    from repro.core.replay_whatif import replay_identity
+
+    try:
+        sim = replay_identity(trace)
+        replayed = analyze(sim.trace, validate=False).report
+    except ReproError as exc:
+        return [
+            Discrepancy(
+                "replay-identity",
+                f"identity replay raised {type(exc).__name__}: {exc}",
+            )
+        ]
+    out: list[Discrepancy] = []
+    if sim.completion_time != trace.duration:
+        out.append(
+            Discrepancy(
+                "replay-identity",
+                f"replayed completion {sim.completion_time!r} != "
+                f"recorded duration {trace.duration!r}",
+            )
+        )
+
+    def ranking(report) -> list[tuple[str, float]]:
+        return [(m.name, m.cp_fraction) for m in report.top_locks(None, by="cp_fraction")]
+
+    base, rep = ranking(result.report), ranking(replayed)
+    if base != rep:
+        for i, (b, r) in enumerate(zip(base, rep)):
+            if b != r:
+                out.append(
+                    Discrepancy(
+                        "replay-identity",
+                        f"critical-lock ranking diverges at position {i}: "
+                        f"recorded {b!r} != replayed {r!r}",
+                    )
+                )
+                break
+        else:
+            out.append(
+                Discrepancy(
+                    "replay-identity",
+                    f"critical-lock table sizes differ: recorded {len(base)} "
+                    f"locks != replayed {len(rep)}",
+                )
+            )
     return out
 
 

@@ -122,11 +122,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay under a different core count")
     rp_p.add_argument("--output", "-o", help="write the replayed trace here")
 
-    wi_p = sub.add_parser("whatif", help="predict speedup from shrinking a lock's CSs")
-    wi_p.add_argument("trace")
-    wi_p.add_argument("lock", help="lock display name")
+    wi_p = sub.add_parser(
+        "whatif",
+        help="predict speedup from shrinking a lock's CSs, or ground-truth "
+        "replay under another lock protocol / scheduler",
+    )
+    wi_p.add_argument("trace", nargs="?", help="trace file (.clt/.jsonl)")
+    wi_p.add_argument("lock", nargs="?", help="lock display name (shrink mode)")
     wi_p.add_argument("--factor", type=float, default=0.0,
                       help="remaining CS size fraction (0 = eliminate)")
+    wi_p.add_argument(
+        "--protocol", metavar="NAME",
+        help="replay under this lock protocol (see --list-protocols)",
+    )
+    wi_p.add_argument(
+        "--scheduler", metavar="NAME",
+        help="replay under this ready-queue scheduler (see --list-protocols)",
+    )
+    wi_p.add_argument("--quantum", type=float, metavar="T",
+                      help="compute quantum for --scheduler rr")
+    wi_p.add_argument(
+        "--priority", action="append", default=[], metavar="THREAD=P",
+        help="base priority for a thread (tid or name; repeatable)",
+    )
+    wi_p.add_argument(
+        "--proto-param", action="append", default=[], metavar="K=V",
+        help="protocol constructor parameter, e.g. spin_limit=0.1 (repeatable)",
+    )
+    wi_p.add_argument("--cores", type=int, default=None,
+                      help="replay under a different core count (default: recorded)")
+    wi_p.add_argument("--top", type=int, default=10,
+                      help="locks in the re-ranking table")
+    wi_p.add_argument("--json", action="store_true", help="machine-readable output")
+    wi_p.add_argument("--list-protocols", action="store_true",
+                      help="list available protocols and schedulers, then exit")
 
     ex_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     ex_p.add_argument(
@@ -339,7 +368,47 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
+    if args.list_protocols:
+        from repro.sim.protocols import PROTOCOL_DOCS
+        from repro.sim.schedulers import SCHEDULER_DOCS
+
+        print("lock protocols (--protocol):")
+        for name, doc in PROTOCOL_DOCS.items():
+            print(f"  {name:<12} {doc}")
+        print("schedulers (--scheduler):")
+        for name, doc in SCHEDULER_DOCS.items():
+            print(f"  {name:<12} {doc}")
+        return 0
+    if not args.trace:
+        raise ReproError("whatif needs a trace file (or --list-protocols)")
     trace = read_trace(args.trace)
+    if args.protocol or args.scheduler:
+        from repro.core.replay_whatif import replay_whatif
+
+        priorities = {}
+        for pair in args.priority:
+            if "=" not in pair:
+                raise ReproError(f"--priority expects THREAD=P, got {pair!r}")
+            key, val = pair.split("=", 1)
+            priorities[int(key) if key.lstrip("-").isdigit() else key] = int(val)
+        forecast = replay_whatif(
+            trace,
+            protocol=args.protocol or "fifo",
+            scheduler=args.scheduler or "fifo",
+            quantum=args.quantum,
+            priorities=priorities or None,
+            protocol_params=_parse_params(args.proto_param) or None,
+            cores=args.cores if args.cores is not None else "auto",
+        )
+        if args.json:
+            print(json.dumps(forecast.to_dict(), indent=2))
+        else:
+            print(forecast.render(args.top))
+        return 0
+    if not args.lock:
+        raise ReproError(
+            "whatif needs a lock name (shrink mode) or --protocol/--scheduler"
+        )
     print(predict_shrink(trace, args.lock, factor=args.factor))
     return 0
 

@@ -32,6 +32,13 @@ from repro.core.planner import OptimizationPlan, plan_optimizations
 from repro.core.metrics import LockMetrics, compute_metrics
 from repro.core.model import CPPiece, HoldInterval, ThreadTimeline, Wait, WaitKind
 from repro.core.phases import PhaseReport, split_phases
+from repro.core.replay_whatif import (
+    LockDelta,
+    ProtocolForecast,
+    forecast_matrix,
+    replay_identity,
+    replay_whatif,
+)
 from repro.core.report import AnalysisReport
 from repro.core.segments import build_timelines
 from repro.core.whatif import WhatIfResult, predict_shrink
@@ -49,10 +56,12 @@ __all__ = [
     "CPPiece",
     "EventGraph",
     "HoldInterval",
+    "LockDelta",
     "LockMetrics",
     "LockOrderGraph",
     "OnlineAnalyzer",
     "OptimizationPlan",
+    "ProtocolForecast",
     "ScalabilityForecast",
     "PhaseReport",
     "ThreadTimeline",
@@ -71,8 +80,11 @@ __all__ = [
     "eyerman_speedup",
     "fit_model",
     "forecast",
+    "forecast_matrix",
     "plan_optimizations",
     "predict_shrink",
+    "replay_identity",
+    "replay_whatif",
     "split_phases",
     "windowed_criticality",
 ]

@@ -121,13 +121,36 @@ def predict_no_contention(
 
 
 def resolve_lock(trace: Trace, lock: int | str) -> int:
-    """Resolve a lock given by object id or display name to its id."""
+    """Resolve a lock given by object id or display name to its id.
+
+    Names match exactly first; otherwise a *unique* prefix is accepted
+    (``"entry"`` finds ``entry_lock[3]`` if it is the only match).  Both
+    misses and ambiguous prefixes raise :class:`AnalysisError` listing
+    the candidate lock names.
+    """
     if isinstance(lock, int):
         if lock not in trace.objects:
-            raise AnalysisError(f"no synchronization object with id {lock}")
+            known = ", ".join(sorted(i.display_name for i in trace.locks))
+            raise AnalysisError(
+                f"no synchronization object with id {lock}; "
+                f"locks in trace: {known}"
+            )
         return lock
     for info in trace.locks:
         if info.display_name == lock or info.name == lock:
             return info.obj
+    prefixed = [
+        info
+        for info in trace.locks
+        if info.display_name.startswith(lock)
+        or (info.name and info.name.startswith(lock))
+    ]
+    if len(prefixed) == 1:
+        return prefixed[0].obj
     known = ", ".join(sorted(i.display_name for i in trace.locks))
+    if prefixed:
+        candidates = ", ".join(sorted(i.display_name for i in prefixed))
+        raise AnalysisError(
+            f"no lock named {lock!r}: ambiguous prefix, candidates: {candidates}"
+        )
     raise AnalysisError(f"no lock named {lock!r}; locks in trace: {known}")

@@ -80,11 +80,24 @@ class ReplayProgram:
         factor: float = 1.0,
         cores: int | None = None,
         seed: int = 0,
+        protocol: Any = None,
+        scheduler: Any = None,
+        priorities: dict[int | str, int] | None = None,
+        preserve_name: bool = False,
     ) -> Program:
         """Materialize a :class:`Program` from the scripts.
 
         ``shrink_lock``/``factor`` scale compute blocks executed while
         holding the given lock (0 removes them, 0.5 halves them).
+
+        ``protocol``/``scheduler`` re-run the reconstruction under an
+        alternative lock protocol or ready-queue policy (names or
+        instances; ``protocol="recorded"`` builds the identity protocol
+        from this trace, pinning grants to the recorded order).
+        ``priorities`` maps original tids or thread names to base
+        priorities for the priority-aware policies.  ``preserve_name``
+        keeps the original trace name instead of the ``replay:`` prefix,
+        so identity replays render byte-identical reports.
         """
         if factor < 0:
             raise AnalysisError(f"factor must be >= 0, got {factor}")
@@ -94,8 +107,14 @@ class ReplayProgram:
 
             shrink_obj = resolve_lock(self.trace, shrink_lock)
 
+        recorded = isinstance(protocol, str) and protocol == "recorded"
+        orig_name = self.trace.meta.get("name", "")
         prog = Program(
-            cores=cores, seed=seed, name=f"replay:{self.trace.meta.get('name', '')}"
+            cores=cores,
+            seed=seed,
+            name=orig_name if preserve_name else f"replay:{orig_name}",
+            protocol=None if recorded else protocol,
+            scheduler=scheduler,
         )
         objects: dict[int, Any] = {}
         for obj, info in self.trace.objects.items():
@@ -112,9 +131,23 @@ class ReplayProgram:
                     _barrier_parties(self.trace, obj), info.name
                 )
 
+        if recorded:
+            from repro.sim.protocols import RecordedProtocol
+
+            obj_map = {old: new.obj for old, new in objects.items()}
+            prog.set_protocol(RecordedProtocol.from_trace(self.trace, obj_map))
+
+        priorities = priorities or {}
+
+        def prio_of(script: _ThreadScript) -> int:
+            if script.tid in priorities:
+                return priorities[script.tid]
+            return priorities.get(script.name, 0)
+
         handles: dict[int, Any] = {}
 
         def body(env, script: _ThreadScript):
+            env.replay_tid = script.tid  # lets the recorded protocol map grants
             held: set[int] = set()
             for op in script.ops:
                 verb = op[0]
@@ -164,9 +197,9 @@ class ReplayProgram:
                     yield env.cond_broadcast(objects[op[1]])
                 elif verb == _SPAWN:
                     child_tid = op[1]
+                    child = self.scripts[child_tid]
                     handle = yield env.spawn(
-                        body, self.scripts[child_tid],
-                        name=self.scripts[child_tid].name,
+                        body, child, name=child.name, priority=prio_of(child)
                     )
                     handles[child_tid] = handle
                 elif verb == _JOIN:
@@ -174,7 +207,7 @@ class ReplayProgram:
 
         for tid, script in sorted(self.scripts.items()):
             if script.root:
-                prog.spawn(body, script, name=script.name)
+                prog.spawn(body, script, name=script.name, priority=prio_of(script))
         return prog
 
     def run(self, **kwargs) -> "Any":

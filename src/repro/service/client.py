@@ -220,6 +220,14 @@ class ServiceClient:
         params = {"lock": lock, "factor": factor, **params}
         return self.wait(self.submit("whatif", digest, params))
 
+    def whatif_protocol(
+        self, digest: str, protocol: str = "fifo", scheduler: str = "fifo", **params
+    ) -> dict:
+        """Ground-truth policy forecast: replay under another lock protocol
+        and/or scheduler (see ``repro.core.replay_whatif``)."""
+        params = {"protocol": protocol, "scheduler": scheduler, **params}
+        return self.wait(self.submit("whatif_protocol", digest, params))
+
     def compare(self, before: str, after: str, **params) -> dict[str, Any]:
         return self.wait(self.submit("compare", [before, after], params))
 

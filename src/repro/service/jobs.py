@@ -24,11 +24,14 @@ __all__ = ["JOB_KINDS", "JobSpec", "Job", "JobStore", "execute"]
 #: Public analysis kinds (``selftest`` is internal: diagnostics + tests;
 #: ``check`` runs the differential verification harness over a seed range,
 #: letting the pool fan a large fuzzing campaign out across workers).
-JOB_KINDS = ("analyze", "whatif", "compare", "forecast", "check", "selftest")
+JOB_KINDS = (
+    "analyze", "whatif", "whatif_protocol", "compare", "forecast", "check", "selftest",
+)
 
 #: How many traces each kind consumes.
 _ARITY = {
-    "analyze": 1, "whatif": 1, "compare": 2, "forecast": 1, "check": 0, "selftest": 0,
+    "analyze": 1, "whatif": 1, "whatif_protocol": 1, "compare": 2, "forecast": 1,
+    "check": 0, "selftest": 0,
 }
 
 # Job lifecycle states.
@@ -247,6 +250,34 @@ def _exec_whatif(paths: list[str], params: dict) -> dict:
     }
 
 
+def _exec_whatif_protocol(paths: list[str], params: dict) -> dict:
+    from repro.core.replay_whatif import replay_whatif
+    from repro.trace.reader import read_trace
+
+    trace = read_trace(paths[0])
+    priorities = params.get("priorities")
+    if priorities:
+        # JSON object keys are always strings; thread ids arrive as "3".
+        priorities = {
+            (int(k) if isinstance(k, str) and k.lstrip("-").isdigit() else k): int(v)
+            for k, v in priorities.items()
+        }
+    cores = params.get("cores", "auto")
+    forecast = replay_whatif(
+        trace,
+        protocol=str(params.get("protocol", "fifo")),
+        scheduler=str(params.get("scheduler", "fifo")),
+        quantum=float(params["quantum"]) if params.get("quantum") is not None else None,
+        priorities=priorities,
+        protocol_params=params.get("protocol_params"),
+        cores=cores if cores in (None, "auto") else int(cores),
+    )
+    out = forecast.to_dict()
+    if params.get("render"):
+        out["rendered"] = forecast.render(int(params.get("top", 10)))
+    return out
+
+
 def _exec_compare(paths: list[str], params: dict) -> dict:
     from repro.core.analyzer import analyze
     from repro.core.compare import compare_analyses
@@ -319,6 +350,7 @@ def _exec_selftest(paths: list[str], params: dict) -> dict:
 _EXECUTORS: dict[str, Callable[[list[str], dict], dict]] = {
     "analyze": _exec_analyze,
     "whatif": _exec_whatif,
+    "whatif_protocol": _exec_whatif_protocol,
     "compare": _exec_compare,
     "forecast": _exec_forecast,
     "check": _exec_check,

@@ -27,6 +27,16 @@ Quick example::
 
 from repro.sim.engine import SimResult, Simulator
 from repro.sim.program import Program
+from repro.sim.protocols import (
+    LockProtocol,
+    available_protocols,
+    get_protocol,
+)
+from repro.sim.schedulers import (
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+)
 from repro.sim.sync import SimBarrier, SimCondition, SimMutex, SimRWLock, SimSemaphore
 from repro.sim.thread import SimThread, ThreadHandle
 
@@ -41,4 +51,10 @@ __all__ = [
     "SimCondition",
     "SimSemaphore",
     "SimRWLock",
+    "LockProtocol",
+    "Scheduler",
+    "get_protocol",
+    "get_scheduler",
+    "available_protocols",
+    "available_schedulers",
 ]

@@ -6,7 +6,8 @@ and all trace emission.  Determinism comes from two rules:
 * queue entries are ordered by ``(time, seq)`` where ``seq`` is a global
   insertion counter, so simultaneous events execute in causal insertion
   order;
-* every waiter queue is FIFO.
+* every waiter-queue decision is delegated to a deterministic policy
+  object (FIFO by default).
 
 Blocking semantics mirror Pthreads: a blocked acquirer is handed the lock
 at release time (direct handoff, which is what the paper's waker
@@ -15,17 +16,26 @@ the blocked thread" — assumes), barriers release the whole cohort when
 the last party arrives, and ``cond_wait`` atomically releases the mutex,
 waits for a signal and reacquires.
 
-Core-limited scheduling is supported (``cores=N``): a thread that is
-runnable but has no core sits in a FIFO ready queue, and its wait is
-folded into its next execution segment (no extra trace events).  All
-paper experiments run with ``cores=None`` (as many cores as threads, like
-the paper's 24-thread POWER7 runs).
+Two policy seams make what-if forecasting possible
+(:mod:`repro.core.replay_whatif`):
+
+* a :class:`repro.sim.protocols.LockProtocol` decides queue discipline,
+  grant order, handoff latency, spinning and priority boosting for every
+  lock-like object (the default :class:`FifoProtocol` reproduces the
+  historical engine bit-identically);
+* a :class:`repro.sim.schedulers.Scheduler` owns the ready queue used in
+  core-limited mode (``cores=N``), optionally slicing compute segments
+  into round-robin quanta.  A thread that is runnable but has no core
+  waits in the scheduler, and its wait is folded into its next execution
+  segment (no extra trace events).
+
+All paper experiments run with ``cores=None`` (as many cores as threads,
+like the paper's 24-thread POWER7 runs) under the FIFO protocol.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -33,6 +43,8 @@ import numpy as np
 
 from repro.errors import DeadlockError, SimulationError, SyncUsageError
 from repro.sim import syscalls as sc
+from repro.sim.protocols import FifoProtocol, LockProtocol, get_protocol
+from repro.sim.schedulers import FifoScheduler, Scheduler, get_scheduler
 from repro.sim.sync import (
     SimBarrier,
     SimCondition,
@@ -70,6 +82,8 @@ class Simulator:
         seed: int = 0,
         name: str = "",
         max_events: int = 50_000_000,
+        protocol: LockProtocol | str | None = None,
+        scheduler: Scheduler | str | None = None,
     ):
         if cores is not None and cores < 1:
             raise SimulationError(f"cores must be >= 1, got {cores}")
@@ -81,7 +95,9 @@ class Simulator:
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._qseq = 0
         self._busy = 0
-        self._ready_q: deque[SimThread] = deque()
+        self.protocol = self._resolve_protocol(protocol)
+        self.protocol.bind(self)
+        self.scheduler = self._resolve_scheduler(scheduler)
         self.threads: dict[int, SimThread] = {}
         self._next_tid = 0
         self._live = 0
@@ -105,6 +121,33 @@ class Simulator:
             sc.Join: self._handle_join,
             sc.YieldCore: self._handle_yield_core,
         }
+
+    @staticmethod
+    def _resolve_protocol(protocol: LockProtocol | str | None) -> LockProtocol:
+        if protocol is None:
+            return FifoProtocol()
+        if isinstance(protocol, str):
+            return get_protocol(protocol)
+        return protocol
+
+    @staticmethod
+    def _resolve_scheduler(scheduler: Scheduler | str | None) -> Scheduler:
+        if scheduler is None:
+            return FifoScheduler()
+        if isinstance(scheduler, str):
+            return get_scheduler(scheduler)
+        return scheduler
+
+    def set_protocol(self, protocol: LockProtocol | str) -> None:
+        """Swap the lock protocol before the run starts.
+
+        Exists for the replay layer, whose recorded protocol can only be
+        built after the simulator's objects have been registered.
+        """
+        if self._ran:
+            raise SimulationError("cannot change the lock protocol after run()")
+        self.protocol = self._resolve_protocol(protocol)
+        self.protocol.bind(self)
 
     # ------------------------------------------------------------------ time
 
@@ -150,20 +193,31 @@ class Simulator:
 
     # ------------------------------------------------------------- threading
 
-    def spawn(self, fn: ThreadBody, *args: Any, name: str | None = None) -> ThreadHandle:
+    def spawn(
+        self,
+        fn: ThreadBody,
+        *args: Any,
+        name: str | None = None,
+        priority: int = 0,
+    ) -> ThreadHandle:
         """Create a root thread (before :meth:`run`), starting at time 0."""
         if self._ran:
             raise SimulationError("cannot spawn root threads after run()")
-        return self._add_thread(fn, args, name, parent=None).handle
+        return self._add_thread(fn, args, name, parent=None, priority=priority).handle
 
     def _add_thread(
-        self, fn: ThreadBody, args: tuple, name: str | None, parent: SimThread | None
+        self,
+        fn: ThreadBody,
+        args: tuple,
+        name: str | None,
+        parent: SimThread | None,
+        priority: int = 0,
     ) -> SimThread:
         tid = self._next_tid
         self._next_tid += 1
         tname = name if name is not None else f"T{tid}"
         rng = np.random.Generator(np.random.PCG64(self._seedseq.spawn(1)[0]))
-        thread = SimThread(self, tid, tname, fn, args, rng)
+        thread = SimThread(self, tid, tname, fn, args, rng, priority=priority)
         self.threads[tid] = thread
         self.collector.register_thread(tid, tname)
         self._live += 1
@@ -196,32 +250,59 @@ class Simulator:
         self._busy += 1
         thread.state = ThreadState.RUNNING
 
+    def _dispatch(self, thread: SimThread) -> None:
+        """Start a thread that just got a core (resume or finish a slice)."""
+        value, thread.pending = thread.pending, None
+        remaining, thread.pending_compute = thread.pending_compute, 0.0
+        if remaining > 0:
+            self._run_compute(thread, remaining)
+        else:
+            self._resume(thread, value)
+
+    def _schedule_next_core(self) -> None:
+        if len(self.scheduler) and self._core_available():
+            nxt = self.scheduler.pop()
+            self._grant_core(nxt)
+            self._dispatch(nxt)
+
     def _release_core(self, thread: SimThread) -> None:
         if not thread.has_core:
             return
         thread.has_core = False
         self._busy -= 1
-        if self._ready_q and self._core_available():
-            nxt = self._ready_q.popleft()
-            self._grant_core(nxt)
-            value, nxt.pending = nxt.pending, None
-            self._resume(nxt, value)
+        self._schedule_next_core()
 
     def _make_runnable(self, thread: SimThread, value: Any) -> None:
         """Thread became runnable (woken or newly created)."""
         thread.block_reason = ""
-        if self._core_available():
+        thread.blocked_on = None
+        if thread.has_core:
+            # Was spinning on its core while blocked: resume in place.
+            thread.state = ThreadState.RUNNING
+            self._resume(thread, value)
+        elif self._core_available():
             self._grant_core(thread)
             self._resume(thread, value)
         else:
             thread.state = ThreadState.READY
             thread.pending = value
-            self._ready_q.append(thread)
+            self.scheduler.push(thread)
 
-    def _block(self, thread: SimThread, reason: str) -> None:
+    def _block(self, thread: SimThread, reason: str, spin: float = 0.0) -> None:
         thread.state = ThreadState.BLOCKED
         thread.block_reason = reason
-        self._release_core(thread)
+        thread.block_start = self._now
+        if spin > 0.0 and self.cores is not None and thread.has_core:
+            # Spin-then-block: burn the core for the spin window, then park.
+            self._post(self._now + spin, lambda: self._spin_expire(thread))
+        else:
+            self._release_core(thread)
+
+    def _spin_expire(self, thread: SimThread) -> None:
+        if thread.state is ThreadState.BLOCKED and thread.has_core:
+            thread.has_core = False
+            self._busy -= 1
+            self._schedule_next_core()
 
     # --------------------------------------------------------------- stepping
 
@@ -253,7 +334,41 @@ class Simulator:
         if req.duration == 0:
             self._resume(thread, None)
         else:
-            self._post(self._now + req.duration, lambda: self._step(thread, None))
+            self._run_compute(thread, req.duration)
+
+    def _run_compute(self, thread: SimThread, duration: float) -> None:
+        quantum = self.scheduler.quantum
+        if quantum is not None and self.cores is not None and duration > quantum:
+            self._post(
+                self._now + quantum,
+                lambda: self._quantum_expire(thread, duration - quantum),
+            )
+        else:
+            self._post(self._now + duration, lambda: self._step(thread, None))
+
+    def _quantum_expire(self, thread: SimThread, remaining: float) -> None:
+        if len(self.scheduler) == 0:
+            # Nobody is waiting for the core: keep computing.
+            self._run_compute(thread, remaining)
+            return
+        thread.has_core = False
+        self._busy -= 1
+        thread.state = ThreadState.READY
+        thread.pending = None
+        thread.pending_compute = remaining
+        self.scheduler.push(thread)
+        self._schedule_next_core()
+
+    # -- lock grant plumbing -------------------------------------------------
+
+    def _emit_obtain(self, lock: Any, thread: SimThread, contended: bool) -> None:
+        arg = self.protocol.obtain_arg(lock, thread, contended)
+        self.collector.emit(self._now, thread.tid, EventType.OBTAIN, obj=lock.obj, arg=arg)
+
+    def _grant_mutex(self, m: SimMutex, thread: SimThread, contended: bool) -> None:
+        self._emit_obtain(m, thread, contended)
+        thread.held.add(m)
+        self.protocol.on_obtain(m, thread)
 
     def _handle_acquire(self, thread: SimThread, req: sc.Acquire) -> None:
         m = req.mutex
@@ -266,25 +381,31 @@ class Simulator:
             self._resume(thread, None)
             return
         self.collector.emit(self._now, thread.tid, EventType.ACQUIRE, obj=m.obj)
-        if m.owner is None:
+        if m.owner is None and self.protocol.grant_free(m, thread):
             m.owner = thread
             m.depth = 1
-            self.collector.emit(self._now, thread.tid, EventType.OBTAIN, obj=m.obj, arg=0)
+            self._grant_mutex(m, thread, contended=False)
             self._resume(thread, None)
         else:
-            m.waiters.append(thread)
-            self._block(thread, f"mutex {m.name or m.obj}")
+            self.protocol.enqueue(m, thread)
+            thread.blocked_on = m
+            self.protocol.on_block(m, thread)
+            self._block(
+                thread,
+                f"mutex {m.name or m.obj}",
+                spin=self.protocol.spin_hold(m, thread),
+            )
 
     def _handle_try_acquire(self, thread: SimThread, req: sc.TryAcquire) -> None:
         m = req.mutex
         if m.owner is thread and m.reentrant:
             m.depth += 1
             self._resume(thread, True)
-        elif m.owner is None:
+        elif m.owner is None and self.protocol.grant_free(m, thread):
             self.collector.emit(self._now, thread.tid, EventType.ACQUIRE, obj=m.obj)
             m.owner = thread
             m.depth = 1
-            self.collector.emit(self._now, thread.tid, EventType.OBTAIN, obj=m.obj, arg=0)
+            self._grant_mutex(m, thread, contended=False)
             self._resume(thread, True)
         else:
             self._resume(thread, False)
@@ -300,14 +421,23 @@ class Simulator:
             return
         m.depth = 0
         self.collector.emit(self._now, thread.tid, EventType.RELEASE, obj=m.obj)
-        if m.waiters:
-            nxt = m.waiters.popleft()
-            m.owner = nxt
-            m.depth = 1
-            self.collector.emit(self._now, nxt.tid, EventType.OBTAIN, obj=m.obj, arg=1)
-            self._make_runnable(nxt, None)
-        else:
+        thread.held.discard(m)
+        self.protocol.on_release(m, thread)
+        nxt = self.protocol.select(m) if m.waiters else None
+        if nxt is None:
             m.owner = None
+            return
+        m.owner = nxt
+        m.depth = 1
+        delay = self.protocol.handoff_latency(m, nxt)
+        if delay > 0:
+            self._post(self._now + delay, lambda: self._complete_handoff(m, nxt))
+        else:
+            self._complete_handoff(m, nxt)
+
+    def _complete_handoff(self, m: SimMutex, nxt: SimThread) -> None:
+        self._grant_mutex(m, nxt, contended=True)
+        self._make_runnable(nxt, None)
 
     def _handle_release(self, thread: SimThread, req: sc.Release) -> None:
         self._release_mutex(thread, req.mutex)
@@ -360,12 +490,16 @@ class Simulator:
         )
         # The woken thread immediately reacquires the mutex (blocking).
         self.collector.emit(self._now, waiter.tid, EventType.ACQUIRE, obj=m.obj)
-        if m.owner is None:
+        if m.owner is None and self.protocol.grant_free(m, waiter):
             m.owner = waiter
-            self.collector.emit(self._now, waiter.tid, EventType.OBTAIN, obj=m.obj, arg=0)
+            m.depth = 1
+            self._grant_mutex(m, waiter, contended=False)
             self._make_runnable(waiter, None)
         else:
-            m.waiters.append(waiter)
+            self.protocol.enqueue(m, waiter)
+            waiter.blocked_on = m
+            waiter.block_start = self._now
+            self.protocol.on_block(m, waiter)
             waiter.block_reason = f"mutex {m.name or m.obj}"
 
     def _handle_cond_signal(self, thread: SimThread, req: sc.CondSignal) -> None:
@@ -373,7 +507,7 @@ class Simulator:
         n = 1 if cv.waiters else 0
         self.collector.emit(self._now, thread.tid, EventType.COND_SIGNAL, obj=cv.obj, arg=n)
         if cv.waiters:
-            waiter, m = cv.waiters.popleft()
+            waiter, m = self.protocol.select_cond_waiter(cv)
             self._wake_cond_waiter(thread, cv, waiter, m)
         self._resume(thread, n)
 
@@ -382,46 +516,83 @@ class Simulator:
         n = len(cv.waiters)
         self.collector.emit(self._now, thread.tid, EventType.COND_BROADCAST, obj=cv.obj, arg=n)
         while cv.waiters:
-            waiter, m = cv.waiters.popleft()
+            waiter, m = self.protocol.select_cond_waiter(cv)
             self._wake_cond_waiter(thread, cv, waiter, m)
         self._resume(thread, n)
 
     def _handle_sem_acquire(self, thread: SimThread, req: sc.SemAcquire) -> None:
         sem = req.sem
         self.collector.emit(self._now, thread.tid, EventType.ACQUIRE, obj=sem.obj)
-        if sem.value > 0:
+        if sem.value > 0 and self.protocol.grant_free(sem, thread):
             sem.value -= 1
-            self.collector.emit(self._now, thread.tid, EventType.OBTAIN, obj=sem.obj, arg=0)
+            self._emit_obtain(sem, thread, contended=False)
             self._resume(thread, None)
+            self._drain_sem_waiters(sem)
         else:
-            sem.waiters.append(thread)
-            self._block(thread, f"semaphore {sem.name or sem.obj}")
+            self.protocol.enqueue(sem, thread)
+            thread.blocked_on = sem
+            self.protocol.on_block(sem, thread)
+            self._block(
+                thread,
+                f"semaphore {sem.name or sem.obj}",
+                spin=self.protocol.spin_hold(sem, thread),
+            )
+
+    def _drain_sem_waiters(self, sem: SimSemaphore) -> None:
+        # Only reachable with value > 0 *and* queued waiters, which the
+        # FIFO baseline never produces: an order-constrained protocol may
+        # queue an early arriver, whose turn can come while value is still
+        # positive (after the rightful thread took its grant).
+        while sem.value > 0 and sem.waiters:
+            nxt = self.protocol.select(sem)
+            if nxt is None:
+                return
+            sem.value -= 1
+            self._emit_obtain(sem, nxt, contended=True)
+            self._make_runnable(nxt, None)
 
     def _handle_sem_release(self, thread: SimThread, req: sc.SemRelease) -> None:
         sem = req.sem
         self.collector.emit(self._now, thread.tid, EventType.RELEASE, obj=sem.obj)
-        if sem.waiters:
-            nxt = sem.waiters.popleft()
-            self.collector.emit(self._now, nxt.tid, EventType.OBTAIN, obj=sem.obj, arg=1)
-            self._make_runnable(nxt, None)
-        else:
+        nxt = self.protocol.select(sem) if sem.waiters else None
+        if nxt is None:
             sem.value += 1
+            self._drain_sem_waiters(sem)
+        else:
+            delay = self.protocol.handoff_latency(sem, nxt)
+            if delay > 0:
+                self._post(self._now + delay, lambda: self._complete_sem_handoff(sem, nxt))
+            else:
+                self._complete_sem_handoff(sem, nxt)
         self._resume(thread, None)
+
+    def _complete_sem_handoff(self, sem: SimSemaphore, nxt: SimThread) -> None:
+        self._emit_obtain(sem, nxt, contended=True)
+        self._make_runnable(nxt, None)
 
     def _handle_rw_acquire(self, thread: SimThread, req: sc.RWAcquire) -> None:
         rw, write = req.rwlock, req.write
         mode = 1 if write else 0
         self.collector.emit(self._now, thread.tid, EventType.ACQUIRE, obj=rw.obj, arg=mode)
-        if rw.can_grant(write):
+        if self.protocol.rw_can_grant(rw, thread, write):
             if write:
                 rw.writer = thread
             else:
                 rw.readers.add(thread)
-            self.collector.emit(self._now, thread.tid, EventType.OBTAIN, obj=rw.obj, arg=0)
+            self._emit_obtain(rw, thread, contended=False)
+            thread.held.add(rw)
+            self.protocol.on_obtain(rw, thread)
             self._resume(thread, None)
+            self._drain_rw_waiters(rw)
         else:
-            rw.waiters.append((thread, write))
-            self._block(thread, f"rwlock {rw.name or rw.obj}")
+            self.protocol.rw_enqueue(rw, thread, write)
+            thread.blocked_on = rw
+            self.protocol.on_block(rw, thread)
+            self._block(
+                thread,
+                f"rwlock {rw.name or rw.obj}",
+                spin=self.protocol.spin_hold(rw, thread),
+            )
 
     def _handle_rw_release(self, thread: SimThread, req: sc.RWRelease) -> None:
         rw, write = req.rwlock, req.write
@@ -439,30 +610,22 @@ class Simulator:
                 )
             rw.readers.discard(thread)
         self.collector.emit(self._now, thread.tid, EventType.RELEASE, obj=rw.obj, arg=mode)
+        thread.held.discard(rw)
+        self.protocol.on_release(rw, thread)
         self._drain_rw_waiters(rw)
         self._resume(thread, None)
 
     def _drain_rw_waiters(self, rw: SimRWLock) -> None:
-        while rw.waiters:
-            waiter, wants_write = rw.waiters[0]
-            if wants_write:
-                if rw.writer is None and not rw.readers:
-                    rw.waiters.popleft()
-                    rw.writer = waiter
-                    self.collector.emit(
-                        self._now, waiter.tid, EventType.OBTAIN, obj=rw.obj, arg=1
-                    )
-                    self._make_runnable(waiter, None)
-                break  # a queued writer blocks everyone behind it
-            if rw.writer is not None:
-                break
-            rw.waiters.popleft()
-            rw.readers.add(waiter)
-            self.collector.emit(self._now, waiter.tid, EventType.OBTAIN, obj=rw.obj, arg=1)
+        for waiter, _wants_write in self.protocol.rw_drain(rw):
+            self._emit_obtain(rw, waiter, contended=True)
+            waiter.held.add(rw)
+            self.protocol.on_obtain(rw, waiter)
             self._make_runnable(waiter, None)
 
     def _handle_spawn(self, thread: SimThread, req: sc.Spawn) -> None:
-        child = self._add_thread(req.fn, req.args, req.name, parent=thread)
+        child = self._add_thread(
+            req.fn, req.args, req.name, parent=thread, priority=req.priority
+        )
         self._resume(thread, child.handle)
 
     def _handle_join(self, thread: SimThread, req: sc.Join) -> None:
@@ -476,18 +639,15 @@ class Simulator:
             self._block(thread, f"join {target.name}")
 
     def _handle_yield_core(self, thread: SimThread, req: sc.YieldCore) -> None:
-        if self.cores is None or not self._ready_q:
+        if self.cores is None or len(self.scheduler) == 0:
             self._resume(thread, None)
             return
         thread.has_core = False
         self._busy -= 1
         thread.state = ThreadState.READY
         thread.pending = None
-        self._ready_q.append(thread)
-        nxt = self._ready_q.popleft()
-        self._grant_core(nxt)
-        value, nxt.pending = nxt.pending, None
-        self._resume(nxt, value)
+        self.scheduler.push(thread)
+        self._schedule_next_core()
 
     # --------------------------------------------------------------- running
 
@@ -520,6 +680,10 @@ class Simulator:
             "seed": self.seed,
             "nthreads": len(self.threads),
         }
+        if self.protocol.name != "fifo":
+            full_meta["protocol"] = self.protocol.name
+        if self.scheduler.name != "fifo":
+            full_meta["scheduler"] = self.scheduler.name
         full_meta.update(meta or {})
         trace = self.collector.build(full_meta)
         results = {tid: t.result for tid, t in self.threads.items()}

@@ -1,0 +1,136 @@
+"""Reader-writer admission policies: reader-pref, writer-pref, phase-fair.
+
+The FIFO baseline (in :mod:`repro.sim.protocols.base`) queues everyone
+in arrival order and grants consecutive readers as a batch.  These
+policies deliberately break arrival order:
+
+* :class:`ReaderPreferenceRW` — readers always join an active read
+  phase, even past queued writers; a writer runs only when no reader is
+  active or queued.  Maximum read throughput, unbounded writer
+  starvation (the classic ``rwlock`` hazard).
+* :class:`WriterPreferenceRW` — an arriving writer blocks later readers
+  immediately and queued writers run before queued readers.  Fresh data
+  at the cost of reader convoys behind write bursts.
+* :class:`PhaseFairRW` — alternating reader/writer phases: each release
+  boundary flips the phase when the other side is waiting, so neither
+  side waits for more than one phase of the other (Brandenburg-style
+  bounded unfairness).
+
+Mutex/semaphore handling is inherited unchanged (FIFO).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.protocols.base import LockProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.sync import SimRWLock
+    from repro.sim.thread import SimThread
+
+__all__ = ["ReaderPreferenceRW", "WriterPreferenceRW", "PhaseFairRW"]
+
+
+class ReaderPreferenceRW(LockProtocol):
+    """Readers never wait behind queued writers."""
+
+    name = "reader-pref"
+
+    def rw_can_grant(self, rw: "SimRWLock", thread: "SimThread", write: bool) -> bool:
+        if write:
+            return rw.writer is None and not rw.readers and not rw.waiters
+        return rw.writer is None  # join any active/starting read phase
+
+    def rw_drain(self, rw: "SimRWLock") -> list[tuple["SimThread", bool]]:
+        if rw.writer is not None:
+            return []
+        grants: list[tuple["SimThread", bool]] = []
+        if any(not wants_write for _, wants_write in rw.waiters):
+            remaining = [w for w in rw.waiters if w[1]]
+            for waiter, wants_write in rw.waiters:
+                if not wants_write:
+                    rw.readers.add(waiter)
+                    grants.append((waiter, False))
+            rw.waiters.clear()
+            rw.waiters.extend(remaining)
+        if not rw.readers and rw.waiters:
+            waiter, _ = rw.waiters.popleft()
+            rw.writer = waiter
+            grants.append((waiter, True))
+        return grants
+
+
+class WriterPreferenceRW(LockProtocol):
+    """Queued writers run first; arriving readers wait behind any writer."""
+
+    name = "writer-pref"
+
+    def rw_can_grant(self, rw: "SimRWLock", thread: "SimThread", write: bool) -> bool:
+        if write:
+            return rw.writer is None and not rw.readers
+        if any(wants_write for _, wants_write in rw.waiters):
+            return False
+        return rw.writer is None
+
+    def rw_drain(self, rw: "SimRWLock") -> list[tuple["SimThread", bool]]:
+        if rw.writer is not None:
+            return []
+        for i, (waiter, wants_write) in enumerate(rw.waiters):
+            if wants_write:
+                if rw.readers:
+                    return []  # writer next, once the readers drain
+                del rw.waiters[i]
+                rw.writer = waiter
+                return [(waiter, True)]
+        grants = [(waiter, False) for waiter, _ in rw.waiters]
+        for waiter, _ in grants:
+            rw.readers.add(waiter)
+        rw.waiters.clear()
+        return grants
+
+
+class PhaseFairRW(LockProtocol):
+    """Alternate reader and writer phases when both sides are waiting."""
+
+    name = "phase-fair"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_phase: dict[int, str] = {}  # obj id -> "r" | "w"
+
+    def rw_can_grant(self, rw: "SimRWLock", thread: "SimThread", write: bool) -> bool:
+        if rw.waiters:
+            return False
+        if write:
+            if rw.writer is None and not rw.readers:
+                self._last_phase[rw.obj] = "w"
+                return True
+            return False
+        if rw.writer is None:
+            self._last_phase[rw.obj] = "r"
+            return True
+        return False
+
+    def rw_drain(self, rw: "SimRWLock") -> list[tuple["SimThread", bool]]:
+        if rw.writer is not None or rw.readers or not rw.waiters:
+            return []
+        queued_writer = any(wants_write for _, wants_write in rw.waiters)
+        queued_reader = any(not wants_write for _, wants_write in rw.waiters)
+        last = self._last_phase.get(rw.obj, "w")
+        if queued_writer and (last == "r" or not queued_reader):
+            for i, (waiter, wants_write) in enumerate(rw.waiters):
+                if wants_write:
+                    del rw.waiters[i]
+                    rw.writer = waiter
+                    self._last_phase[rw.obj] = "w"
+                    return [(waiter, True)]
+        grants = [(waiter, False) for waiter, wants_write in rw.waiters if not wants_write]
+        if grants:
+            remaining = [w for w in rw.waiters if w[1]]
+            rw.waiters.clear()
+            rw.waiters.extend(remaining)
+            for waiter, _ in grants:
+                rw.readers.add(waiter)
+            self._last_phase[rw.obj] = "r"
+        return grants

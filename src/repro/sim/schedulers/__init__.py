@@ -1,0 +1,133 @@
+"""Pluggable ready-queue policies for core-limited scheduling.
+
+When the simulator runs with ``cores=N``, runnable threads without a
+core wait in a ready queue owned by a :class:`Scheduler`.  The policy
+decides who gets a freed core next:
+
+* :class:`FifoScheduler` — arrival order (the engine's historical
+  behavior, and the default);
+* :class:`PriorityScheduler` — highest effective priority first, FIFO
+  among equals (non-preemptive: a running thread keeps its core until
+  it blocks, yields or finishes);
+* :class:`RoundRobinScheduler` — FIFO plus a time quantum: a compute
+  segment longer than the quantum is sliced, and the thread goes to the
+  back of the queue between slices (only when other threads are ready —
+  an uncontended core never reschedules).
+
+With ``cores=None`` (the default, one core per thread) the ready queue
+is always empty and the policy is irrelevant.
+
+Use :func:`get_scheduler` to construct by registry name.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.thread import SimThread
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "PriorityScheduler",
+    "RoundRobinScheduler",
+    "SCHEDULERS",
+    "get_scheduler",
+    "available_schedulers",
+]
+
+
+class Scheduler:
+    """Ready-queue policy: which coreless runnable thread runs next."""
+
+    #: Registry name (subclasses override).
+    name = "fifo"
+    #: Compute-slice length, or ``None`` for run-to-completion segments.
+    quantum: float | None = None
+
+    def __init__(self) -> None:
+        self._q: deque["SimThread"] = deque()
+
+    def push(self, thread: "SimThread") -> None:
+        self._q.append(thread)
+
+    def pop(self) -> "SimThread":
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def describe(self) -> dict[str, Any]:
+        return {}
+
+
+class FifoScheduler(Scheduler):
+    """Arrival order (the baseline; bit-identical to the old engine)."""
+
+    name = "fifo"
+
+
+class PriorityScheduler(Scheduler):
+    """Highest effective priority first; FIFO among equals."""
+
+    name = "priority"
+
+    def pop(self) -> "SimThread":
+        best = 0
+        for i in range(1, len(self._q)):
+            if self._q[i].effective_priority > self._q[best].effective_priority:
+                best = i
+        thread = self._q[best]
+        del self._q[best]
+        return thread
+
+
+class RoundRobinScheduler(Scheduler):
+    """FIFO with compute slicing every ``quantum`` time units."""
+
+    name = "rr"
+
+    def __init__(self, quantum: float = 1.0) -> None:
+        super().__init__()
+        if quantum <= 0:
+            raise SimulationError(f"rr quantum must be > 0, got {quantum}")
+        self.quantum = float(quantum)
+
+    def describe(self) -> dict[str, Any]:
+        return {"quantum": self.quantum}
+
+
+SCHEDULERS: dict[str, type[Scheduler]] = {
+    FifoScheduler.name: FifoScheduler,
+    PriorityScheduler.name: PriorityScheduler,
+    RoundRobinScheduler.name: RoundRobinScheduler,
+}
+
+SCHEDULER_DOCS: dict[str, str] = {
+    "fifo": "arrival-order ready queue (baseline)",
+    "priority": "highest effective priority gets a freed core first",
+    "rr": "round-robin compute slicing with a configurable quantum",
+}
+
+
+def available_schedulers() -> list[str]:
+    return sorted(SCHEDULERS)
+
+
+def get_scheduler(name: str, **params: Any) -> Scheduler:
+    """Construct a scheduler by registry name."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduler {name!r}; available: "
+            + ", ".join(available_schedulers())
+        ) from None
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise SimulationError(f"bad parameters for scheduler {name!r}: {exc}") from None

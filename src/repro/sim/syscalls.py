@@ -143,6 +143,7 @@ class Spawn(Request):
     fn: Callable[..., Any]
     args: tuple
     name: str | None = None
+    priority: int = 0
 
 
 @dataclass(frozen=True, slots=True)

@@ -98,6 +98,13 @@ class SimThread:
         "joiners",
         "result",
         "pending",
+        "priority",
+        "boost",
+        "held",
+        "blocked_on",
+        "block_start",
+        "pending_compute",
+        "replay_tid",
         "_body",
         "_args",
     )
@@ -110,6 +117,7 @@ class SimThread:
         body: ThreadBody,
         args: tuple,
         rng: np.random.Generator,
+        priority: int = 0,
     ):
         self.engine = engine
         self.tid = tid
@@ -125,6 +133,13 @@ class SimThread:
         self.joiners: list["SimThread"] = []
         self.result: Any = None
         self.pending: Any = None  # resume value parked while waiting for a core
+        self.priority = priority  # base scheduling/lock priority
+        self.boost = 0  # protocol-managed boost (inheritance/ceiling)
+        self.held: set[Any] = set()  # lock-like objects currently held
+        self.blocked_on: Any = None  # lock this thread is blocked acquiring
+        self.block_start = 0.0  # virtual time the current block began
+        self.pending_compute = 0.0  # compute left after a quantum slice
+        self.replay_tid: int | None = None  # original tid during trace replay
 
     def start_generator(self) -> None:
         """Instantiate the body generator (deferred so spawn stays cheap)."""
@@ -144,6 +159,11 @@ class SimThread:
     def now(self) -> float:
         """Current virtual time."""
         return self.engine.now
+
+    @property
+    def effective_priority(self) -> int:
+        """Base priority plus any protocol-granted boost."""
+        return self.priority if self.priority >= self.boost else self.boost
 
     # -- request constructors (the simulated "libc") ------------------------
 
@@ -203,9 +223,11 @@ class SimThread:
         """Release the write hold on ``rwlock``."""
         return sc.RWRelease(rwlock, write=True)
 
-    def spawn(self, fn: ThreadBody, *args: Any, name: str | None = None) -> sc.Spawn:
+    def spawn(
+        self, fn: ThreadBody, *args: Any, name: str | None = None, priority: int = 0
+    ) -> sc.Spawn:
         """Create a child thread; yields back its :class:`ThreadHandle`."""
-        return sc.Spawn(fn, args, name)
+        return sc.Spawn(fn, args, name, priority)
 
     def join(self, handle: ThreadHandle) -> sc.Join:
         """Block until ``handle``'s thread exits."""

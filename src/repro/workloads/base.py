@@ -62,11 +62,27 @@ class Workload(abc.ABC):
     def build(self, prog: Program, nthreads: int) -> None:
         """Create locks and spawn the workload's threads into ``prog``."""
 
-    def run(self, nthreads: int, seed: int = 0, cores: int | None = None) -> SimResult:
-        """Build and execute the workload; returns the traced result."""
+    def run(
+        self,
+        nthreads: int,
+        seed: int = 0,
+        cores: int | None = None,
+        protocol: Any = None,
+        scheduler: Any = None,
+    ) -> SimResult:
+        """Build and execute the workload; returns the traced result.
+
+        ``protocol``/``scheduler`` select non-default lock and ready-queue
+        policies (names or instances, see :mod:`repro.sim.protocols` and
+        :mod:`repro.sim.schedulers`) — used by the protocol benchmarks to
+        measure policies directly rather than through replay.
+        """
         if nthreads < 1:
             raise WorkloadError(f"nthreads must be >= 1, got {nthreads}")
-        prog = Program(cores=cores, seed=seed, name=self.name)
+        prog = Program(
+            cores=cores, seed=seed, name=self.name,
+            protocol=protocol, scheduler=scheduler,
+        )
         self.build(prog, nthreads)
         meta = {"workload": self.name, "params": self.describe()}
         return prog.run(meta=meta)

@@ -83,6 +83,46 @@ def test_catches_perturbed_records(micro_trace):
     assert "online" in invariants
 
 
+def test_catches_drifted_identity_replay(micro_trace, monkeypatch):
+    # An identity replay that finishes at the wrong time must trip
+    # replay-identity even when the lock ranking still matches.
+    import types
+
+    import importlib
+
+    # repro.core re-exports the replay_whatif *function*, shadowing the
+    # submodule attribute on the package: resolve the module directly.
+    rw_mod = importlib.import_module("repro.core.replay_whatif")
+    real = rw_mod.replay_identity
+
+    def drifted(trace):
+        result = real(trace)
+        return types.SimpleNamespace(
+            completion_time=result.completion_time + 1.0, trace=result.trace
+        )
+
+    monkeypatch.setattr(rw_mod, "replay_identity", drifted)
+    invariants = {d.invariant for d in check_trace(micro_trace, False)}
+    assert "replay-identity" in invariants
+
+
+def test_catches_unfaithful_identity_replay(micro_trace, monkeypatch):
+    # A "replay" that actually changed the program (L2 critical sections
+    # shrunk) diverges in both completion time and cp_fraction ranking.
+    import importlib
+
+    from repro.replay import reconstruct
+
+    rw_mod = importlib.import_module("repro.core.replay_whatif")
+
+    def unfaithful(trace):
+        return reconstruct(trace).run(shrink_lock="L2", factor=0.5)
+
+    monkeypatch.setattr(rw_mod, "replay_identity", unfaithful)
+    invariants = {d.invariant for d in check_trace(micro_trace, False)}
+    assert "replay-identity" in invariants
+
+
 def test_discrepancy_rendering():
     from repro.check.oracle import Discrepancy
 

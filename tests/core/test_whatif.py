@@ -49,6 +49,44 @@ def test_unknown_lock_rejected(micro_analysis):
         micro_analysis.what_if("bogus")
 
 
+def test_unknown_lock_error_lists_candidates(micro_trace):
+    with pytest.raises(AnalysisError, match=r"locks in trace: L1, L2"):
+        predict_shrink(micro_trace, "bogus")
+
+
+def test_unknown_object_id_error_lists_candidates(micro_trace):
+    with pytest.raises(AnalysisError, match=r"locks in trace: L1, L2"):
+        predict_shrink(micro_trace, 999)
+
+
+def test_unique_prefix_resolves():
+    from repro.core.whatif import resolve_lock
+    from repro.sim import Program
+
+    prog = Program()
+    alpha = prog.mutex("alpha_lock")
+    beta = prog.mutex("beta_lock")
+
+    def worker(env, i):
+        yield env.acquire(alpha)
+        yield env.compute(0.1)
+        yield env.release(alpha)
+        yield env.acquire(beta)
+        yield env.release(beta)
+
+    prog.spawn_workers(2, worker)
+    trace = prog.run().trace
+    assert resolve_lock(trace, "alp") == resolve_lock(trace, "alpha_lock")
+    with pytest.raises(AnalysisError, match=r"alpha_lock, beta_lock"):
+        resolve_lock(trace, "gamma")
+
+
+def test_ambiguous_prefix_lists_matches(micro_trace):
+    # "L" prefixes both L1 and L2: the error must name both candidates.
+    with pytest.raises(AnalysisError, match=r"ambiguous prefix.*L1, L2"):
+        predict_shrink(micro_trace, "L")
+
+
 def test_lookup_by_object_id(micro_trace):
     r = predict_shrink(micro_trace, 1, factor=0.6)
     assert r.lock_name == "L2"

@@ -28,6 +28,16 @@ GOLDEN_DIR = pathlib.Path(__file__).parent
 CASES = {
     "micro": ("micro", {}, 4, 0),
     "radiosity": ("radiosity", {"total_tasks": 80, "iterations": 2}, 4, 11),
+    # Contended rwlock config: under reader-preference the critical lock
+    # re-ranks (entry_lock[0] -> entry_lock[1]), exercised by the
+    # protocol-forecast tests.
+    "ldap": (
+        "openldap",
+        {"requests": 150, "nbuckets": 2, "write_prob": 0.35,
+         "write_cost": 0.12, "lookup_cost": 0.04},
+        6,
+        1,
+    ),
 }
 
 

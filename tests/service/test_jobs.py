@@ -83,6 +83,30 @@ class TestExecute:
         with pytest.raises(ServiceError, match="params.lock"):
             execute("whatif", [micro_path], {})
 
+    def test_whatif_protocol_identity_fifo(self, micro_trace, micro_path):
+        out = execute("whatif_protocol", [micro_path], {"protocol": "fifo"})
+        assert out["predicted_time"] == micro_trace.duration
+        assert out["reranked"] is False
+
+    def test_whatif_protocol_renders_and_serializes(self, micro_path):
+        import json
+
+        out = execute(
+            "whatif_protocol", [micro_path],
+            {"protocol": "pi", "priorities": {"1": 5}, "render": True},
+        )
+        assert out["protocol"] == "pi"
+        assert "protocol what-if" in out["rendered"]
+        json.dumps(out)
+
+    def test_whatif_protocol_scheduler_quantum(self, micro_path):
+        out = execute(
+            "whatif_protocol", [micro_path],
+            {"scheduler": "rr", "quantum": 0.5, "cores": 2},
+        )
+        assert out["scheduler"] == "rr"
+        assert out["params"]["quantum"] == 0.5
+
     def test_compare_identical_traces(self, micro_path):
         out = execute("compare", [micro_path, micro_path], {})
         assert out["speedup"] == pytest.approx(1.0)

@@ -130,6 +130,89 @@ def test_reader_batch_granted_together():
     assert read_at == [1.0, 1.0, 1.0]
 
 
+def test_fifo_fairness_mixed_queue_drains_in_arrival_order():
+    # Pin the baseline drain discipline on a mixed waiter queue.  Writer
+    # holds [0, 1]; the queue builds up as R1, W1, R2, R3, W2 (strictly
+    # increasing arrival times).  FIFO must grant R1 alone (it stops at
+    # the queued writer), then W1, then the R2+R3 batch, then W2 — no
+    # reader may overtake a writer that arrived first.
+    prog = Program()
+    rw = prog.rwlock("rw")
+    order = []
+
+    def holder(env):
+        yield env.rw_acquire_write(rw)
+        yield env.compute(1.0)
+        yield env.rw_release_write(rw)
+
+    def reader(env, tag, delay):
+        yield env.compute(delay)
+        yield env.rw_acquire_read(rw)
+        order.append((tag, env.now))
+        yield env.compute(1.0)
+        yield env.rw_release_read(rw)
+
+    def writer(env, tag, delay):
+        yield env.compute(delay)
+        yield env.rw_acquire_write(rw)
+        order.append((tag, env.now))
+        yield env.compute(1.0)
+        yield env.rw_release_write(rw)
+
+    prog.spawn(holder)
+    prog.spawn(reader, "r1", 0.1)
+    prog.spawn(writer, "w1", 0.2)
+    prog.spawn(reader, "r2", 0.3)
+    prog.spawn(reader, "r3", 0.4)
+    prog.spawn(writer, "w2", 0.5)
+    prog.run()
+    assert order == [
+        ("r1", 1.0), ("w1", 2.0), ("r2", 3.0), ("r3", 3.0), ("w2", 4.0)
+    ]
+
+
+def test_fifo_fairness_late_reader_joins_only_open_batch():
+    # A reader arriving while a read batch is *active* shares it (no
+    # queued writer yet); once a writer queues, later readers wait.
+    prog = Program()
+    rw = prog.rwlock("rw")
+    read_at = []
+    wrote_at = []
+
+    def early_reader(env):
+        yield env.rw_acquire_read(rw)
+        yield env.compute(2.0)
+        yield env.rw_release_read(rw)
+
+    def joining_reader(env):
+        yield env.compute(0.5)
+        yield env.rw_acquire_read(rw)  # batch still open: joins at 0.5
+        read_at.append(env.now)
+        yield env.compute(0.5)
+        yield env.rw_release_read(rw)
+
+    def writer(env):
+        yield env.compute(1.0)
+        yield env.rw_acquire_write(rw)
+        wrote_at.append(env.now)
+        yield env.compute(1.0)
+        yield env.rw_release_write(rw)
+
+    def late_reader(env):
+        yield env.compute(1.5)
+        yield env.rw_acquire_read(rw)  # writer queued at 1.0: must wait
+        read_at.append(env.now)
+        yield env.rw_release_read(rw)
+
+    prog.spawn(early_reader)
+    prog.spawn(joining_reader)
+    prog.spawn(writer)
+    prog.spawn(late_reader)
+    prog.run()
+    assert read_at == [0.5, 3.0]
+    assert wrote_at == [2.0]
+
+
 def test_release_read_not_held_rejected():
     prog = Program()
     rw = prog.rwlock("rw")
