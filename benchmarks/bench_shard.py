@@ -1,20 +1,27 @@
-"""Sequential vs sharded analysis wall-clock comparison.
+"""Engine and sharding wall-clock comparison.
 
 Standalone script (not a pytest bench — CI runs it directly)::
 
     PYTHONPATH=src python benchmarks/bench_shard.py --quick
+    PYTHONPATH=src python benchmarks/bench_shard.py --min-columnar-speedup 5
     PYTHONPATH=src python benchmarks/bench_shard.py --jobs 4 --min-speedup 1.5
 
 Builds a multi-phase SyntheticLocks trace (barriers every few hundred
 ops give the cut-point detector plenty of quiescent positions), then
-times ``analyze(trace)`` against ``analyze(trace, jobs=N)`` and checks
-the two renders are byte-identical — a perf harness that silently
-changed the answer would be worse than no harness.
+times three configurations against each other and checks all renders
+are byte-identical — a perf harness that silently changed the answer
+would be worse than no harness:
 
-The parallel path only engages with >1 usable CPU (see
-``repro.core.shard._use_processes``); on a single-core runner the
-sharded figure measures the inline fallback, so ``--min-speedup`` is
-meant for multi-core CI runners, not laptops pinned to one core.
+* ``analyze(trace, engine="object")`` — the per-event reference engine;
+* ``analyze(trace)`` — the columnar (numpy) engine, the default;
+* ``analyze(trace, jobs=N)`` — columnar + barrier-cut sharding.
+
+``--min-columnar-speedup`` gates the columnar-vs-object ratio and is
+CPU-count independent (both runs are sequential).  ``--min-speedup``
+gates sharded-vs-sequential; the parallel path only engages with >1
+usable CPU (see ``repro.core.shard``) — on a single-core runner the
+analyzer deliberately skips sharding, so that gate is meant for
+multi-core CI runners, not laptops pinned to one core.
 """
 
 from __future__ import annotations
@@ -59,6 +66,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="timing repeats, best-of (default: 3, 1 with --quick)")
     ap.add_argument("--min-speedup", type=float, default=None, metavar="X",
                     help="fail unless sharded is at least X times faster")
+    ap.add_argument("--min-columnar-speedup", type=float, default=None,
+                    metavar="X", help="fail unless the columnar engine beats "
+                    "the object engine by at least X times")
     ap.add_argument("--json", metavar="PATH", default=None,
                     help="also write the numbers as JSON (perf trajectory)")
     args = ap.parse_args(argv)
@@ -73,18 +83,26 @@ def main(argv: list[str] | None = None) -> int:
     print(f"trace: {len(trace)} events, {len(trace.threads)} threads, "
           f"{len(cuts)} cut points, {cpus} usable CPU(s)")
 
+    t_obj, obj = _time(
+        lambda: analyze(trace, validate=False, engine="object"), repeats
+    )
     t_seq, seq = _time(lambda: analyze(trace, validate=False), repeats)
     t_shard, sharded = _time(
         lambda: analyze(trace, validate=False, jobs=args.jobs), repeats
     )
 
+    if seq.report.render(None) != obj.report.render(None):
+        print("FAIL: columnar report differs from object engine", file=sys.stderr)
+        return 1
     if sharded.report.render(None) != seq.report.render(None):
         print("FAIL: sharded report differs from sequential", file=sys.stderr)
         return 1
     speedup = t_seq / t_shard if t_shard > 0 else float("inf")
-    print(f"sequential        {t_seq:8.3f}s")
+    col_speedup = t_obj / t_seq if t_seq > 0 else float("inf")
+    print(f"object engine     {t_obj:8.3f}s")
+    print(f"columnar (seq.)   {t_seq:8.3f}s   ({col_speedup:.2f}x over object)")
     print(f"sharded jobs={args.jobs:<2}   {t_shard:8.3f}s   "
-          f"({sharded.shards} shards, {speedup:.2f}x)")
+          f"({sharded.shards} shards, {speedup:.2f}x over columnar seq.)")
 
     if args.json:
         with open(args.json, "w") as f:
@@ -99,9 +117,11 @@ def main(argv: list[str] | None = None) -> int:
                     "jobs": args.jobs,
                     "shards": sharded.shards,
                     "repeats": repeats,
+                    "object_s": round(t_obj, 4),
                     "sequential_s": round(t_seq, 4),
                     "sharded_s": round(t_shard, 4),
                     "speedup": round(speedup, 3),
+                    "columnar_speedup": round(col_speedup, 3),
                     "identical_render": True,
                 },
                 f,
@@ -110,6 +130,11 @@ def main(argv: list[str] | None = None) -> int:
             f.write("\n")
         print(f"numbers written to {args.json}")
 
+    if args.min_columnar_speedup is not None:
+        if col_speedup < args.min_columnar_speedup:
+            print(f"FAIL: columnar speedup {col_speedup:.2f}x < required "
+                  f"{args.min_columnar_speedup:.2f}x", file=sys.stderr)
+            return 1
     if args.min_speedup is not None:
         if sharded.shards <= 1:
             print("FAIL: sharding never engaged", file=sys.stderr)

@@ -26,6 +26,11 @@ layers, and returns one :class:`Discrepancy` per violated invariant
                    pass: same pieces, junctions, completion time,
                    per-lock CP time % and contention probability, and
                    byte-equal rendered report
+``engine-equiv``   the columnar (numpy) engine and the per-event object
+                   engine produce *bit-identical* results: critical-path
+                   pieces/junctions/waits, report dict, byte-equal
+                   render, identical reconstructed timelines — and
+                   neither engine emits a zero-duration Wait
 ``replay-identity`` reconstructing the trace into a schedulable program
                    and re-running it under the ``recorded`` identity
                    protocol reproduces the baseline completion time and
@@ -194,6 +199,9 @@ def check_trace(trace: Trace, has_nested_holds: bool = True) -> list[Discrepancy
 
     # -- shard-equiv
     out += _check_shard(trace, result)
+
+    # -- engine-equiv
+    out += _check_engines(trace, result)
 
     # -- replay-identity
     out += _check_replay_identity(trace, result)
@@ -482,6 +490,62 @@ def _check_shard(trace: Trace, result) -> list[Discrepancy]:
             )
     if sharded.report.render(None) != result.report.render(None):
         out.append(Discrepancy("shard-equiv", "rendered reports are not byte-equal"))
+    return out
+
+
+def _check_engines(trace: Trace, result) -> list[Discrepancy]:
+    """The two analysis engines must agree bit-for-bit.
+
+    ``result`` came from the default (columnar) engine; this runs the
+    per-event object pipeline over the same trace and demands ``==``
+    everywhere — the columnar engine's contract is *bit-identity*, not
+    numerical closeness, which is what lets goldens, shard stitching
+    and the JSON export swap engines without a diff.
+    """
+    try:
+        obj = analyze(trace, engine="object")
+    except ReproError as exc:
+        return [
+            Discrepancy(
+                "engine-equiv", f"object engine raised {type(exc).__name__}: {exc}"
+            )
+        ]
+    out: list[Discrepancy] = []
+    col_cp, obj_cp = result.critical_path, obj.critical_path
+    if col_cp.pieces != obj_cp.pieces:
+        out.append(
+            Discrepancy(
+                "engine-equiv",
+                f"critical-path pieces differ: {len(col_cp.pieces)} columnar "
+                f"vs {len(obj_cp.pieces)} object",
+            )
+        )
+    if col_cp.junctions != obj_cp.junctions:
+        out.append(Discrepancy("engine-equiv", "junction lists differ"))
+    if col_cp.waits != obj_cp.waits:
+        out.append(Discrepancy("engine-equiv", "traversed wait lists differ"))
+    if result.report.to_dict() != obj.report.to_dict():
+        out.append(Discrepancy("engine-equiv", "report dicts differ"))
+    if result.report.render(None) != obj.report.render(None):
+        out.append(Discrepancy("engine-equiv", "rendered reports are not byte-equal"))
+    if result.timelines != obj.timelines:
+        out.append(Discrepancy("engine-equiv", "reconstructed timelines differ"))
+    if result.wakers.wakes != obj.wakers.wakes or (
+        result.wakers.creations != obj.wakers.creations
+    ):
+        out.append(Discrepancy("engine-equiv", "waker tables differ"))
+    for res, engine in ((result, "columnar"), (obj, "object")):
+        for tid, tl in res.timelines.items():
+            for w in tl.waits:
+                if w.duration == 0:
+                    out.append(
+                        Discrepancy(
+                            "engine-equiv",
+                            f"{engine} engine kept a zero-duration wait: "
+                            f"T{tid} seq {w.wake_seq}",
+                        )
+                    )
+                    break
     return out
 
 

@@ -80,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-barrier-phase critical lock statistics")
     an_p.add_argument("--no-validate", action="store_true", help="skip trace validation")
     an_p.add_argument(
+        "--engine", choices=("columnar", "object"), default="columnar",
+        help="analysis engine: vectorized numpy hot path (default) or the "
+        "per-event object reference implementation; both are bit-identical",
+    )
+    an_p.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="analyze in up to N parallel shards split at barrier/join cut "
         "points (same result, less wall-clock; default: sequential)",
@@ -264,7 +269,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.viz.profile import render_lock_profile
 
     trace = read_trace(args.trace)
-    analysis = analyze(trace, validate=not args.no_validate, jobs=args.jobs)
+    analysis = analyze(
+        trace, validate=not args.no_validate, jobs=args.jobs, engine=args.engine
+    )
     if args.json:
         print(json.dumps(analysis.report.to_dict(), indent=2))
     else:

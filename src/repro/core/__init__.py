@@ -15,10 +15,21 @@ Pipeline (mirrors the paper's analysis module, Fig. 3):
    an independent longest-path cross-check and powers
    :mod:`repro.core.whatif` speedup predictions.
 
-Use :func:`repro.core.analyzer.analyze` for the whole pipeline.
+Use :func:`repro.core.analyzer.analyze` for the whole pipeline.  Steps
+1–4 have two interchangeable implementations: the per-event object
+modules listed above, and the vectorized numpy twins in
+:mod:`repro.core.columnar` (the default engine; bit-identical output,
+see ``docs/algorithm.md``).
 """
 
-from repro.core.analyzer import AnalysisResult, analyze
+from repro.core.analyzer import ENGINES, AnalysisResult, analyze
+from repro.core.columnar import (
+    ColumnarTimelines,
+    ColumnarWakers,
+    backward_walk_columnar,
+    build_timelines_columnar,
+    resolve_wakers_columnar,
+)
 from repro.core.attribution import LockAttribution, attribute_lock
 from repro.core.blame import BlameReport, compute_blame
 from repro.core.compare import ComparisonReport, compare_analyses
@@ -48,6 +59,9 @@ __all__ = [
     "analyze",
     "AnalysisResult",
     "AnalysisReport",
+    "ColumnarTimelines",
+    "ColumnarWakers",
+    "ENGINES",
     "BlameReport",
     "LockAttribution",
     "ComparisonReport",
@@ -70,9 +84,12 @@ __all__ = [
     "WhatIfResult",
     "WindowedCriticality",
     "attribute_lock",
+    "backward_walk_columnar",
     "build_event_graph",
     "build_lock_order",
     "build_timelines",
+    "build_timelines_columnar",
+    "resolve_wakers_columnar",
     "compare_analyses",
     "compute_blame",
     "compute_critical_path",

@@ -34,7 +34,6 @@ import numpy as np
 
 from repro.tables import format_table
 from repro.trace.events import Event, EventType
-from repro.trace.schema import event_from_row
 from repro.trace.trace import Trace
 from repro.units import format_duration, format_percent
 
@@ -134,10 +133,14 @@ class OnlineAnalyzer:
     def observe_batch(self, records: np.ndarray) -> "OnlineAnalyzer":
         """Consume one numpy record batch (the streaming ingest path).
 
-        Time bounds and the event count are updated vectorized; only
-        lock-verb rows take the per-event bookkeeping path, so feeding a
-        barrier-heavy trace through here stays cheap.
+        The whole batch stays columnar: time bounds and the event count
+        come from array reductions, and the lock-verb rows run through
+        the per-lock batch kernel
+        (:func:`repro.core.columnar.online.consume_lock_batch`) grouped
+        by lock — no per-event ``Event`` objects are built.
         """
+        from repro.core.columnar.online import consume_lock_batch
+
         if len(records) == 0:
             return self
         self.events_seen += len(records)
@@ -149,11 +152,23 @@ class OnlineAnalyzer:
         if self.last_time is None or hi > self.last_time:
             self.last_time = hi
         lock_rows = records[np.isin(records["etype"], _LOCK_VERBS)]
-        # observe() re-counts events and re-checks time bounds; neutralize
-        # the double count rather than forking a second code path.
-        self.events_seen -= len(lock_rows)
-        for row in lock_rows:
-            self.observe(event_from_row(row))
+        if len(lock_rows) == 0:
+            return self
+        obj = lock_rows["obj"].astype(np.int64)
+        order = np.argsort(obj, kind="stable")  # keeps batch order per lock
+        sorted_obj = obj[order]
+        starts = np.flatnonzero(np.diff(sorted_obj, prepend=sorted_obj[0] - 1))
+        bounds = np.append(starts, len(sorted_obj))
+        for lo_i, hi_i in zip(bounds[:-1], bounds[1:]):
+            o = int(sorted_obj[lo_i])
+            ls = self._locks.get(o)
+            if ls is None:
+                ls = OnlineLockStats(obj=o, name=self._names.get(o, f"obj#{o}"))
+                self._locks[o] = ls
+            rows = lock_rows[order[lo_i:hi_i]]
+            consume_lock_batch(
+                ls, rows["etype"], rows["tid"], rows["time"], rows["arg"]
+            )
         return self
 
     def register_names(self, objects: dict[Any, Any]) -> None:

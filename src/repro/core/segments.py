@@ -90,9 +90,13 @@ def _build_one(
         )
         # A wait that never actually delayed the thread must not redirect
         # the backward walk: the thread was the barrier's last arriver
-        # (waker is itself), or the dependency was satisfied in the past
-        # (e.g. joining an already-exited thread).
-        if wait.duration == 0 and (info.waker_tid == tid or info.waker_time < start):
+        # (waker is itself), the dependency was satisfied in the past
+        # (e.g. joining an already-exited thread), or — equal timestamps
+        # are routine in virtual time — the handoff was instantaneous.
+        # The old ``waker_time < start`` form kept the instantaneous
+        # case and could route the path through a dependency that cost
+        # the thread nothing.
+        if wait.duration == 0:
             return
         tl.waits.append(wait)
 

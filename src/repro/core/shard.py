@@ -19,11 +19,14 @@ into one :class:`~repro.core.analyzer.AnalysisResult` that is
 * metrics run once, sequentially, over the merged structures and the
   stitched path — identical float summation order, identical report.
 
+Both analysis engines shard: the columnar one (default) merges numpy
+columns directly, the object one merges ``ThreadTimeline`` lists.
+
 Anything that cannot be proven to stitch cleanly raises
 :class:`~repro.errors.ShardError` and the caller falls back to the
 sequential pass; sharding is an optimization, never a semantics change.
-The 13th ``repro.check`` invariant (``shard-equiv``) holds this module
-to the bit-identity claim on every fuzzed seed.
+The ``shard-equiv`` invariant of ``repro.check`` holds this module to
+the bit-identity claim on every fuzzed seed.
 """
 
 from __future__ import annotations
@@ -33,6 +36,13 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.analyzer import AnalysisResult
+from repro.core.columnar.metrics import (
+    compute_metrics_columnar,
+    compute_thread_stats_columnar,
+)
+from repro.core.columnar.timelines import ColumnarTimelines, build_timelines_columnar
+from repro.core.columnar.wakers import ColumnarWakers, resolve_wakers_columnar
+from repro.core.columnar.walk import backward_walk_columnar
 from repro.core.critical_path import CriticalPath, WalkSegment, backward_walk
 from repro.core.metrics import compute_metrics, compute_thread_stats
 from repro.core.model import CPPiece, ThreadTimeline
@@ -55,9 +65,9 @@ PARALLEL_MIN_EVENTS = 20_000
 # ---------------------------------------------------------------------------
 
 
-def _analyze_shard(payload) -> tuple[WakerTable, dict[int, ThreadTimeline], WalkSegment]:
+def _analyze_shard(payload):
     """Resolve wakers, build timelines and walk one shard."""
-    records, objects, threads, meta, cut = payload
+    records, objects, threads, meta, cut, engine = payload
     sub = Trace(records=records, objects=objects, threads=threads, meta=meta)
     barrier_seed = None
     boundary_arrivals = None
@@ -68,6 +78,11 @@ def _analyze_shard(payload) -> tuple[WakerTable, dict[int, ThreadTimeline], Walk
             anchor = WakeInfo(cut.anchor_tid, cut.anchor_time, cut.anchor_seq)
             barrier_seed = {cut.barrier: anchor}
             boundary_arrivals = {cut.barrier: dict(cut.arrivals)}
+    if engine == "columnar":
+        cw = resolve_wakers_columnar(sub, barrier_seed=barrier_seed)
+        ct = build_timelines_columnar(sub, cw, boundary_arrivals=boundary_arrivals)
+        walk = backward_walk_columnar(sub, ct, lo_seq=lo_seq)
+        return cw, ct, walk
     wakers = resolve_wakers(sub, barrier_seed=barrier_seed)
     timelines = build_timelines(sub, wakers, boundary_arrivals=boundary_arrivals)
     walk = backward_walk(sub, timelines, lo_seq=lo_seq)
@@ -75,6 +90,11 @@ def _analyze_shard(payload) -> tuple[WakerTable, dict[int, ThreadTimeline], Walk
 
 
 def _available_cpus() -> int:
+    count = getattr(os, "process_cpu_count", None)
+    if count is not None:  # Python >= 3.13: affinity-aware by definition
+        n = count()
+        if n:
+            return n
     try:
         return len(os.sched_getaffinity(0))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux
@@ -208,10 +228,13 @@ def analyze_sharded(
     jobs: int,
     parallel: bool | None = None,
     strict: bool = False,
+    engine: str = "columnar",
 ) -> AnalysisResult | None:
     """Analyze a trace in up to ``jobs`` shards split at quiescent cuts.
 
-    Returns ``None`` when the trace has no usable cut point, or (unless
+    Returns ``None`` when the trace has no usable cut point, when only
+    one CPU is usable (``parallel=None``; sharding cannot pay for its
+    own splitting/stitching overhead without concurrency), or (unless
     ``strict``) when any shard or the stitcher failed — the caller then
     runs the sequential pass.  ``parallel`` forces worker processes on
     or off; by default they are used for traces of at least
@@ -220,6 +243,8 @@ def analyze_sharded(
     propagate instead of silently degrading to sequential.
     """
     if len(trace) == 0 or jobs <= 1:
+        return None
+    if parallel is None and _available_cpus() <= 1:
         return None
     cuts = select_cuts(find_cuts(trace), len(trace), jobs)
     if not cuts:
@@ -232,13 +257,18 @@ def analyze_sharded(
             trace.threads,
             trace.meta,
             cut,
+            engine,
         )
         for lo, hi, cut in zip(bounds, bounds[1:], [None, *cuts])
     ]
     try:
         results = _run_shards(payloads, jobs, parallel)
-        wakers = _merge_wakers([r[0] for r in results])
-        timelines = _merge_timelines([r[1] for r in results])
+        if engine == "columnar":
+            cw = ColumnarWakers.merge([r[0] for r in results])
+            ct = ColumnarTimelines.merge([r[1] for r in results])
+        else:
+            wakers = _merge_wakers([r[0] for r in results])
+            timelines = _merge_timelines([r[1] for r in results])
         pieces, junctions, waits = _stitch_walks(cuts, [r[2] for r in results])
     except ReproError:
         if strict:
@@ -250,21 +280,35 @@ def analyze_sharded(
         waits=waits,
         trace_duration=trace.duration,
     )
-    locks = compute_metrics(trace, timelines, cp)
-    threads = compute_thread_stats(timelines, cp)
+    if engine == "columnar":
+        locks = compute_metrics_columnar(trace, ct, cp)
+        threads = compute_thread_stats_columnar(ct, cp)
+        nthreads = len(ct.tids)
+    else:
+        locks = compute_metrics(trace, timelines, cp)
+        threads = compute_thread_stats(timelines, cp)
+        nthreads = len(timelines)
     report = AnalysisReport(
         name=str(trace.meta.get("name", "")),
-        nthreads=len(timelines),
+        nthreads=nthreads,
         duration=trace.duration,
         cp=cp,
         locks=locks,
         thread_stats=threads,
     )
+    if engine == "columnar":
+        return AnalysisResult(
+            trace=trace,
+            critical_path=cp,
+            report=report,
+            shards=len(results),
+            columnar=(cw, ct),
+        )
     return AnalysisResult(
         trace=trace,
-        wakers=wakers,
-        timelines=timelines,
         critical_path=cp,
         report=report,
         shards=len(results),
+        wakers=wakers,
+        timelines=timelines,
     )

@@ -14,6 +14,7 @@ from xml.sax.saxutils import escape
 
 from repro.core.analyzer import AnalysisResult, analyze
 from repro.core.forecast import forecast
+from repro.errors import AnalysisError
 from repro.core.windows import windowed_criticality
 from repro.trace.trace import Trace
 from repro.units import format_percent
@@ -177,7 +178,10 @@ def render_html_report(
             )
         )
 
-    # Scalability forecast.
+    # Scalability forecast.  Only the documented "no forecast possible"
+    # condition is skippable (AnalysisError on zero total execution
+    # work); a genuine forecast bug must propagate, not vanish from the
+    # report.
     try:
         fc = forecast(analysis)
         parts.append("<h2>Scalability forecast</h2>")
@@ -199,7 +203,7 @@ def render_html_report(
             "<p class='note'>roofline model: completion ≥ max(work/N, "
             "largest serial lock demand); see docs/extensions.md</p>"
         )
-    except Exception:  # zero-work traces have no forecast
+    except AnalysisError:  # zero-work traces have no forecast
         pass
 
     parts.append("</body></html>")

@@ -205,6 +205,14 @@ def _barrier_cuts(rec, et, obj, arg, live, quiet, cover) -> list[CutPoint]:
     for e in np.flatnonzero(ok):
         anchor = int(a_last[e])
         members = arrive_pos[order[group_starts[e] : group_starts[e] + a_count[e]]]
+        # The stitch premise is that every thread crossing the cut
+        # backward traverses a depart Wait that jumps to the anchor.  A
+        # participant arriving at the anchor's own instant never blocked
+        # — its zero-duration Wait is dropped by timeline construction —
+        # so the walk would tunnel through the barrier on that thread.
+        # Only the anchor itself may arrive at release time.
+        if np.count_nonzero(rec["time"][members] == rec["time"][anchor]) != 1:
+            continue
         cuts.append(
             CutPoint(
                 pos=anchor + 1,

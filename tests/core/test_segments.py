@@ -90,9 +90,11 @@ def test_creation_links():
     assert timelines[t1.tid].create_time == 1.5
 
 
-def test_zero_length_contended_handoff_kept():
-    # A contended wait of zero duration (acquire at the exact release
-    # instant) must still redirect the walk through the waker.
+def test_zero_length_contended_handoff_dropped():
+    # A contended "wait" of zero duration (acquire at the exact release
+    # instant) never delayed the thread, so it must not become a Wait —
+    # keeping it would redirect the backward walk through a dependency
+    # that cost nothing.  The hold is still recorded as contended.
     b = TraceBuilder()
     lock = b.mutex("L")
     t0, t1 = b.thread(), b.thread()
@@ -105,9 +107,9 @@ def test_zero_length_contended_handoff_kept():
     t0.exit(at=2.0)
     t1.exit(at=3.0)
     timelines = build_timelines(b.build())
-    (w,) = timelines[t1.tid].waits
-    assert w.duration == 0.0
-    assert w.waker_tid == t0.tid
+    assert timelines[t1.tid].waits == []
+    (h,) = timelines[t1.tid].holds[lock]
+    assert h.contended
 
 
 def test_multiple_locks_tracked_independently(micro_trace):

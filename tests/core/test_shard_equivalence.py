@@ -4,14 +4,20 @@ Property-style coverage of the ``docs/sharding.md`` bit-identity claim:
 for every fuzzed ``repro.check`` program and every built-in workload
 with barriers, ``analyze(trace, jobs=4)`` and ``analyze(trace)`` agree
 byte-for-byte — rendered report, critical-path pieces/junctions, and
-completion time — not merely within a float tolerance.
+completion time — not merely within a float tolerance.  Both analysis
+engines are held to the claim.
+
+Tests that assert sharding *engages* pass ``parallel=False``: with the
+default ``parallel=None``, a single usable CPU makes ``analyze`` skip
+sharding outright (there is nothing to parallelize), and CI runners are
+routinely pinned to one core.
 """
 
 import pytest
 
 from repro.check.generator import generate_spec
 from repro.check.interp import run_spec
-from repro.core.analyzer import analyze
+from repro.core.analyzer import ENGINES, analyze
 from repro.core.shard import analyze_sharded
 from repro.errors import ReproError
 from repro.trace.shard import find_cuts
@@ -36,48 +42,52 @@ def _assert_identical(seq, sharded) -> None:
     assert sharded.report.to_dict() == seq.report.to_dict()
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("seed", range(N_SEEDS))
-def test_fuzzed_programs_shard_identically(seed):
+def test_fuzzed_programs_shard_identically(seed, engine):
     spec = generate_spec(seed)
     try:
         trace = run_spec(spec).trace
-        seq = analyze(trace)
+        seq = analyze(trace, engine=engine)
     except ReproError:
         pytest.skip("seed produced an unanalyzable program (oracle covers these)")
-    _assert_identical(seq, analyze(trace, jobs=4))
+    _assert_identical(seq, analyze(trace, jobs=4, parallel=False, engine=engine))
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize(
     "name,params", BARRIER_WORKLOADS, ids=[n for n, _ in BARRIER_WORKLOADS]
 )
-def test_barrier_workloads_shard_identically(name, params):
+def test_barrier_workloads_shard_identically(name, params, engine):
     trace = get_workload(name)(**params).run(nthreads=4, seed=11).trace
     assert find_cuts(trace), f"{name} should expose barrier cut points"
-    seq = analyze(trace, validate=False)
-    sharded = analyze(trace, validate=False, jobs=4)
+    seq = analyze(trace, validate=False, engine=engine)
+    sharded = analyze(trace, validate=False, jobs=4, parallel=False, engine=engine)
     assert sharded.shards > 1, "sharding should actually engage"
     _assert_identical(seq, sharded)
 
 
-def test_strict_mode_runs_every_shard():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_strict_mode_runs_every_shard(engine):
     trace = get_workload("synthetic")(
         ops_per_thread=120, nlocks=3, barrier_every=40
     ).run(nthreads=4, seed=2).trace
-    seq = analyze(trace, validate=False)
-    sharded = analyze_sharded(trace, jobs=4, parallel=False, strict=True)
+    seq = analyze(trace, validate=False, engine=engine)
+    sharded = analyze_sharded(trace, jobs=4, parallel=False, strict=True, engine=engine)
     assert sharded is not None and sharded.shards > 1
     _assert_identical(seq, sharded)
 
 
-def test_process_pool_path_matches_inline():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_process_pool_path_matches_inline(engine):
     # Force real worker processes regardless of trace size / CPU count:
     # the transport (pickling shard payloads and results) must not change
     # the answer either.
     trace = get_workload("synthetic")(
         ops_per_thread=150, nlocks=4, barrier_every=50
     ).run(nthreads=4, seed=3).trace
-    seq = analyze(trace, validate=False)
-    sharded = analyze_sharded(trace, jobs=4, parallel=True)
+    seq = analyze(trace, validate=False, engine=engine)
+    sharded = analyze_sharded(trace, jobs=4, parallel=True, engine=engine)
     assert sharded is not None and sharded.shards > 1
     _assert_identical(seq, sharded)
 
@@ -87,7 +97,7 @@ def test_jobs_on_cutless_trace_is_sequential():
         nthreads=4, seed=4
     ).trace
     assert find_cuts(trace) == []
-    result = analyze(trace, validate=False, jobs=4)
+    result = analyze(trace, validate=False, jobs=4, parallel=False)
     assert result.shards == 1
     _assert_identical(analyze(trace, validate=False), result)
 
@@ -96,7 +106,7 @@ def test_shards_field_counts_shards():
     trace = get_workload("synthetic")(
         ops_per_thread=200, nlocks=4, barrier_every=50
     ).run(nthreads=4, seed=7).trace
-    result = analyze(trace, validate=False, jobs=3)
+    result = analyze(trace, validate=False, jobs=3, parallel=False)
     assert 1 < result.shards <= 3
 
 
@@ -108,10 +118,32 @@ def test_merged_structures_feed_the_event_graph():
         ops_per_thread=200, nlocks=4, barrier_every=50
     ).run(nthreads=4, seed=7).trace
     seq = analyze(trace, validate=False)
-    sharded = analyze(trace, validate=False, jobs=4)
+    sharded = analyze(trace, validate=False, jobs=4, parallel=False)
     assert sharded.shards > 1
     assert sharded.graph.completion_time() == seq.graph.completion_time()
     lock = next(iter(seq.report.locks.values())).name
     assert sharded.what_if(lock).predicted_time == pytest.approx(
         seq.what_if(lock).predicted_time
     )
+
+
+def test_single_cpu_default_skips_sharding(monkeypatch):
+    # Regression: on a 1-CPU machine (pinned CI runner, container quota)
+    # inline sharding costs split/stitch overhead with zero concurrency
+    # to pay for it — BENCH_SHARD.json once recorded a 0.93x "speedup".
+    # With the default parallel=None, analyze must not shard at all, and
+    # must never touch the process pool.
+    import repro.core.shard as shard_mod
+
+    monkeypatch.setattr(shard_mod, "_available_cpus", lambda: 1)
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("process pool must not be used on a single CPU")
+
+    monkeypatch.setattr(shard_mod, "ProcessPoolExecutor", _boom)
+    trace = get_workload("synthetic")(
+        ops_per_thread=200, nlocks=4, barrier_every=50
+    ).run(nthreads=4, seed=7).trace
+    assert find_cuts(trace), "trace should have cut points"
+    result = analyze(trace, validate=False, jobs=4)
+    assert result.shards == 1

@@ -17,7 +17,7 @@ import pathlib
 import pytest
 
 from repro.cli import main
-from repro.core.analyzer import analyze
+from repro.core.analyzer import ENGINES, analyze
 from repro.trace.writer import write_trace
 from repro.workloads import get_workload
 
@@ -41,11 +41,11 @@ CASES = {
 }
 
 
-def render_case(case: str) -> str:
+def render_case(case: str, engine: str = "columnar") -> str:
     """The exact text the CLI prints for ``analyze`` on this case."""
     workload, params, nthreads, seed = CASES[case]
     trace = get_workload(workload)(**params).run(nthreads=nthreads, seed=seed).trace
-    return analyze(trace).render(10)
+    return analyze(trace, engine=engine).render(10)
 
 
 def _golden(case: str) -> str:
@@ -54,9 +54,13 @@ def _golden(case: str) -> str:
     return path.read_text()
 
 
+# Both engines are checked against the *same* golden file: matching it
+# byte for byte from either side is the bit-identity contract of
+# docs/algorithm.md, pinned here at the rendered-report level.
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("case", sorted(CASES))
-def test_report_matches_golden(case):
-    assert render_case(case) == _golden(case)
+def test_report_matches_golden(case, engine):
+    assert render_case(case, engine) == _golden(case)
 
 
 @pytest.mark.parametrize("case", sorted(CASES))
@@ -106,4 +110,8 @@ def test_cli_analyze_matches_golden(case, tmp_path, capsys):
 
     # Sharded analysis must print the very same bytes.
     assert main(["analyze", str(path), "--jobs", "4"]) == 0
+    assert capsys.readouterr().out == _golden(case) + "\n"
+
+    # As must the object-engine escape hatch.
+    assert main(["analyze", str(path), "--engine", "object"]) == 0
     assert capsys.readouterr().out == _golden(case) + "\n"

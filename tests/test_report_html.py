@@ -65,3 +65,35 @@ def test_reuses_analysis():
     trace = make_micro_program().run().trace
     analysis = analyze(trace)
     assert "critical path" in render_html_report(trace, analysis)
+
+
+def test_forecast_bug_propagates(monkeypatch):
+    # Only the documented zero-work AnalysisError may silence the
+    # forecast section; a genuine defect inside forecast() must surface
+    # instead of producing a silently incomplete report.
+    import repro.report_html as mod
+
+    def broken(analysis):
+        raise TypeError("forecast regression")
+
+    monkeypatch.setattr(mod, "forecast", broken)
+    trace = make_micro_program().run().trace
+    with pytest.raises(TypeError, match="forecast regression"):
+        render_html_report(trace)
+
+
+def test_zero_work_forecast_skipped(monkeypatch):
+    # The legitimate skip: forecast raising AnalysisError ("cannot
+    # forecast: zero total execution work") drops the section but still
+    # renders the rest of the report.
+    import repro.report_html as mod
+    from repro.errors import AnalysisError
+
+    def zero_work(analysis):
+        raise AnalysisError("cannot forecast: zero total execution work")
+
+    monkeypatch.setattr(mod, "forecast", zero_work)
+    trace = make_micro_program().run().trace
+    html = render_html_report(trace)
+    assert "Scalability forecast" not in html
+    assert html.endswith("</html>")

@@ -121,13 +121,16 @@ def test_truncated_mid_episode_rejects_the_open_barrier():
 
 
 def _equal_timestamp_trace() -> Trace:
-    """Lock handoff, barrier episode and post-barrier acquire all at t=3.
+    """Lock handoff at t=3; anchor arrive, departs and next acquire tie at t=3.5.
 
-    Emission order controls the tie-break at time 3.0 (events sort by
-    (time, insertion order)): release -> contended obtain -> release ->
-    both arrives -> both departs -> uncontended acquire.  The cut lands
-    right after the second arrive, with same-timestamp records on both
-    sides of it.
+    Emission order controls the tie-break at time 3.5 (events sort by
+    (time, insertion order)): release -> anchor arrive -> both departs
+    -> uncontended acquire.  The cut lands right after the anchor
+    arrive, with same-timestamp records on both sides of it.  The
+    non-anchor thread arrives strictly earlier (3.0 < 3.5): a barrier
+    only yields a cut when it actually blocked every non-anchor
+    participant, since an unblocked participant's zero-duration Wait is
+    dropped and the backward walk would tunnel through the episode.
     """
     b = TraceBuilder()
     lock = b.mutex("L")
@@ -139,15 +142,15 @@ def _equal_timestamp_trace() -> Trace:
     t0.acquire(lock, at=1.0)
     t0.release(lock, at=3.0)
     t1.acquire(lock, at=2.0, obtain=3.0)  # handoff at exactly 3.0
-    t1.release(lock, at=3.0)
+    t1.release(lock, at=3.5)
     # Arrives and departs emitted separately so both arrives precede
     # both departs in insertion order (ThreadScript.barrier would
     # interleave them and sink the d_first > a_last requirement).
     t0._emit(3.0, EventType.BARRIER_ARRIVE, obj=bar, arg=0)
-    t1._emit(3.0, EventType.BARRIER_ARRIVE, obj=bar, arg=0)
-    t0._emit(3.0, EventType.BARRIER_DEPART, obj=bar, arg=0)
-    t1._emit(3.0, EventType.BARRIER_DEPART, obj=bar, arg=0)
-    t1.acquire(lock, at=3.0)  # post-cut work at the anchor timestamp
+    t1._emit(3.5, EventType.BARRIER_ARRIVE, obj=bar, arg=0)
+    t0._emit(3.5, EventType.BARRIER_DEPART, obj=bar, arg=0)
+    t1._emit(3.5, EventType.BARRIER_DEPART, obj=bar, arg=0)
+    t1.acquire(lock, at=3.5)  # post-cut work at the anchor timestamp
     t1.release(lock, at=4.0)
     t0.critical_section(lock, acquire=4.0, obtain=4.5, release=5.0)
     t0.exit(at=6.0)
@@ -161,12 +164,36 @@ def test_cut_on_equal_timestamp_handoff_is_found():
     assert len(cuts) == 1
     cut = cuts[0]
     assert cut.kind == "barrier"
-    assert cut.anchor_time == 3.0
-    # pos splits between the last arrive and the first depart, both at 3.0
+    assert cut.anchor_time == 3.5
+    # pos splits between the last arrive and the first depart, both at 3.5
     assert trace.records["etype"][cut.pos - 1] == int(EventType.BARRIER_ARRIVE)
     assert trace.records["etype"][cut.pos] == int(EventType.BARRIER_DEPART)
     assert float(trace.records["time"][cut.pos]) == cut.anchor_time
     assert sorted(t for t, _ in cut.arrivals) == [0, 1]
+
+
+def test_tied_arrival_episode_is_rejected():
+    # Both threads arrive at the same instant: neither blocked, both
+    # depart Waits are zero-duration and dropped, and the backward walk
+    # tunnels straight through the episode — no legal cut exists.
+    b = TraceBuilder()
+    bar = b.barrier_obj("B")
+    t0 = b.thread("T0")
+    t1 = b.thread("T1")
+    t0.start(at=0.0)
+    t1.start(at=0.0)
+    t0._emit(3.0, EventType.BARRIER_ARRIVE, obj=bar, arg=0)
+    t1._emit(3.0, EventType.BARRIER_ARRIVE, obj=bar, arg=0)
+    t0._emit(3.0, EventType.BARRIER_DEPART, obj=bar, arg=0)
+    t1._emit(3.0, EventType.BARRIER_DEPART, obj=bar, arg=0)
+    t0.exit(at=4.0)
+    t1.exit(at=4.0)
+    trace = b.build()
+    assert find_cuts(trace) == []
+    # jobs on such a trace silently runs the sequential pass.
+    result = analyze(trace, jobs=2, parallel=False)
+    _assert_identical(analyze(trace), result)
+    assert result.shards == 1
 
 
 def test_cut_on_equal_timestamp_handoff_analyzes_identically():
