@@ -35,6 +35,12 @@ layers, and returns one :class:`Discrepancy` per violated invariant
                    and re-running it under the ``recorded`` identity
                    protocol reproduces the baseline completion time and
                    the critical-lock ranking bit-identically
+``sample-coverage`` downsampling the trace (rates 1.0/0.5/0.2) and
+                   estimating statistically never errors, reproduces the
+                   exact ``cp_fraction`` bit-for-bit at rate 1.0, emits
+                   well-formed intervals, and the intervals contain the
+                   exact value for at least the nominal fraction of
+                   cells (minus binomial slack)
 ``analysis-error`` the pipeline raised instead of producing a result
 """
 
@@ -205,6 +211,9 @@ def check_trace(trace: Trace, has_nested_holds: bool = True) -> list[Discrepancy
 
     # -- replay-identity
     out += _check_replay_identity(trace, result)
+
+    # -- sample-coverage
+    out += _check_sampling(trace, result)
 
     return out
 
@@ -607,6 +616,95 @@ def _check_replay_identity(trace: Trace, result) -> list[Discrepancy]:
                     "replay-identity",
                     f"critical-lock table sizes differ: recorded {len(base)} "
                     f"locks != replayed {len(rep)}",
+                )
+            )
+    return out
+
+
+def _check_sampling(trace: Trace, result) -> list[Discrepancy]:
+    """Statistical sampling must stay honest on this trace.
+
+    Runs the full sampling pipeline — downsample, repair, estimate —
+    at several rates (:func:`repro.sampling.cross_validate`) and demands:
+
+    * the estimator never raises on a sampled capture of a valid trace;
+    * at rate 1.0 every point estimate equals the exact ``cp_fraction``
+      *bit for bit* (the sample is the full trace);
+    * every interval is well formed (``0 <= lo <= hi <= 1``, point in
+      ``[0, 1]``);
+    * across the sub-1.0 cells, the ``confidence`` intervals contain the
+      exact value for at least the nominal fraction, minus 2.5-sigma
+      binomial slack — a per-trace instantiation of the frequentist
+      coverage claim (the CI seeds derive deterministically from the
+      trace's oracle run, so a failure replays from the repro file).
+    """
+    from repro.sampling import cross_validate
+
+    confidence = 0.9
+    try:
+        cv = cross_validate(
+            trace,
+            rates=(1.0, 0.5, 0.2),
+            confidence=confidence,
+            seed=0,
+            exact=result.report,
+        )
+    except ReproError as exc:
+        return [
+            Discrepancy(
+                "sample-coverage",
+                f"cross-validation raised {type(exc).__name__}: {exc}",
+            )
+        ]
+    out: list[Discrepancy] = []
+    for rv in cv.rates:
+        if rv.error:
+            out.append(
+                Discrepancy(
+                    "sample-coverage",
+                    f"estimator failed at rate {rv.rate}: {rv.error}",
+                )
+            )
+            continue
+        for c in rv.coverage:
+            if not (0.0 <= c.ci_low <= c.ci_high <= 1.0 and 0.0 <= c.point <= 1.0):
+                out.append(
+                    Discrepancy(
+                        "sample-coverage",
+                        f"rate {rv.rate}, {c.name}: malformed interval "
+                        f"point={c.point!r} ci=[{c.ci_low!r}, {c.ci_high!r}]",
+                    )
+                )
+        if rv.rate >= 1.0 and not rv.exact_match:
+            bad = next(c for c in rv.coverage if c.point != c.exact)
+            out.append(
+                Discrepancy(
+                    "sample-coverage",
+                    f"rate 1.0 is not bit-identical to the exact engine: "
+                    f"{bad.name} point {bad.point!r} != exact {bad.exact!r}",
+                )
+            )
+    cells = cv.cells
+    if cells:
+        misses = cells - cv.covered_cells
+        allowed = math.ceil(
+            cells * (1.0 - confidence)
+            + 2.5 * math.sqrt(cells * confidence * (1.0 - confidence))
+        )
+        if misses > max(1, allowed):
+            detail = "; ".join(
+                f"rate {rv.rate}, {c.name}: exact {c.exact!r} outside "
+                f"[{c.ci_low!r}, {c.ci_high!r}] ({c.units} units)"
+                for rv in cv.rates
+                if rv.rate < 1.0
+                for c in rv.coverage
+                if not c.covered
+            )
+            out.append(
+                Discrepancy(
+                    "sample-coverage",
+                    f"{misses}/{cells} cells uncovered "
+                    f"(allowed {max(1, allowed)}): {detail}",
                 )
             )
     return out

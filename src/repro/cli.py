@@ -4,6 +4,8 @@
 
     critical-lock-analysis run radiosity --threads 24 -o rad.clt --report
     critical-lock-analysis analyze rad.clt --top 5 --timeline
+    critical-lock-analysis analyze rad.clt --sample-rate 0.1
+    critical-lock-analysis import perf_lock_events.jsonl -o perf.clt
     critical-lock-analysis whatif rad.clt "tq[0].qlock" --factor 0.5
     critical-lock-analysis experiment fig9
     critical-lock-analysis check --seeds 200
@@ -89,6 +91,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyze in up to N parallel shards split at barrier/join cut "
         "points (same result, less wall-clock; default: sequential)",
     )
+    an_p.add_argument(
+        "--sample-rate", type=float, default=None, metavar="R",
+        help="downsample the trace to this lock-invocation inclusion "
+        "probability and print the statistical estimate next to the exact "
+        "report (a trace that is already a sampled capture is estimated "
+        "directly; no flag needed)",
+    )
+    an_p.add_argument(
+        "--sample-seed", type=int, default=0, metavar="S",
+        help="deterministic sampling seed for --sample-rate (default: %(default)s)",
+    )
+
+    imp_p = sub.add_parser(
+        "import",
+        help="import a foreign lock-event dump (perf-style JSONL) as a "
+        "native trace",
+    )
+    imp_p.add_argument("input", help="foreign dump file")
+    imp_p.add_argument(
+        "--format", default="perf-jsonl",
+        help="input format (default: %(default)s)",
+    )
+    imp_p.add_argument("--output", "-o", help="write the trace here (.clt/.jsonl)")
+    imp_p.add_argument("--report", action="store_true",
+                       help="also print the analysis report")
+    imp_p.add_argument("--top", type=int, default=10, help="locks per table")
 
     cmp_p = sub.add_parser("compare", help="diff two analyses (before vs after)")
     cmp_p.add_argument("before")
@@ -268,14 +296,36 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.windows import windowed_criticality
     from repro.viz.profile import render_lock_profile
 
+    from repro.core.estimate import estimate_report
+    from repro.sampling import downsample_trace, trace_sample_rate
+
     trace = read_trace(args.trace)
+    if trace_sample_rate(trace) is not None:
+        # A sampled capture: the exact engine's numbers would silently
+        # describe the sample, not the execution — estimate instead.
+        est = estimate_report(trace, engine=args.engine)
+        if args.json:
+            print(json.dumps(est.to_dict(), indent=2))
+        else:
+            print(est.render(args.top))
+        return 0
     analysis = analyze(
         trace, validate=not args.no_validate, jobs=args.jobs, engine=args.engine
     )
+    est = None
+    if args.sample_rate is not None:
+        sampled = downsample_trace(trace, args.sample_rate, seed=args.sample_seed)
+        est = estimate_report(sampled, engine=args.engine)
     if args.json:
-        print(json.dumps(analysis.report.to_dict(), indent=2))
+        doc = analysis.report.to_dict()
+        if est is not None:
+            doc = {"exact": doc, "estimated": est.to_dict()}
+        print(json.dumps(doc, indent=2))
     else:
         print(analysis.render(args.top))
+        if est is not None:
+            print()
+            print(est.render(args.top))
     if args.timeline:
         print()
         print(render_timeline(trace, analysis))
@@ -304,6 +354,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         print()
         print(split_phases(analysis).render())
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from repro.trace.importers import import_trace
+
+    trace = import_trace(args.input, format=args.format)
+    info = trace.meta.get("import", {})
+    repairs = ", ".join(f"{k}={v}" for k, v in info.items() if k != "file" and v)
+    print(
+        f"imported {args.input}: {len(trace)} events, "
+        f"{len(trace.threads)} threads, {len(trace.objects)} objects"
+        + (f" ({repairs})" if repairs else "")
+    )
+    if args.output:
+        path = write_trace(trace, args.output)
+        print(f"trace written to {path}")
+    if args.report or not args.output:
+        print()
+        print(analyze(trace).render(args.top))
     return 0
 
 
@@ -536,6 +606,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "run": _cmd_run,
         "analyze": _cmd_analyze,
+        "import": _cmd_import,
         "compare": _cmd_compare,
         "stats": _cmd_stats,
         "export": _cmd_export,

@@ -35,6 +35,7 @@ from repro.core.blame import BlameReport, compute_blame
 from repro.core.compare import ComparisonReport, compare_analyses
 from repro.core.critical_path import CriticalPath, compute_critical_path
 from repro.core.dag import EventGraph, build_event_graph
+from repro.core.estimate import EstimatedReport, LockEstimate, estimate_report
 from repro.core.eyerman import CriticalSectionModel, eyerman_speedup, fit_model
 from repro.core.forecast import ScalabilityForecast, forecast
 from repro.core.lockorder import LockOrderGraph, build_lock_order
@@ -68,9 +69,11 @@ __all__ = [
     "CriticalPath",
     "CriticalSectionModel",
     "CPPiece",
+    "EstimatedReport",
     "EventGraph",
     "HoldInterval",
     "LockDelta",
+    "LockEstimate",
     "LockMetrics",
     "LockOrderGraph",
     "OnlineAnalyzer",
@@ -94,6 +97,7 @@ __all__ = [
     "compute_blame",
     "compute_critical_path",
     "compute_metrics",
+    "estimate_report",
     "eyerman_speedup",
     "fit_model",
     "forecast",

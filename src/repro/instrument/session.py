@@ -39,7 +39,13 @@ class ProfilingSession:
     the block, :meth:`trace` returns the assembled trace.
     """
 
-    def __init__(self, name: str = "", clock: Clock | None = None):
+    def __init__(
+        self,
+        name: str = "",
+        clock: Clock | None = None,
+        sample_rate: float | None = None,
+        sample_seed: int = 0,
+    ):
         self.name = name
         self.clock: Clock = clock if clock is not None else MonotonicClock()
         self._tls = threading.local()
@@ -56,6 +62,14 @@ class ProfilingSession:
         self._ring = None  # set by stream_to(); emit() mirrors into it
         self._flusher = None
         self.stream_result: Any = None
+        # Sampling capture: lock invocations are hash-sampled *before*
+        # they reach the buffers (repro.sampling); rate 1.0 (or None)
+        # records everything and keeps emit() on the fast path.
+        self._sampler = None
+        if sample_rate is not None and float(sample_rate) < 1.0:
+            from repro.sampling.sampler import EventSampler
+
+            self._sampler = EventSampler(float(sample_rate), int(sample_seed))
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -137,6 +151,20 @@ class ProfilingSession:
             obj=obj,
             arg=arg,
         )
+        sampler = self._sampler
+        if (
+            sampler is not None
+            and etype in (EventType.ACQUIRE, EventType.OBTAIN, EventType.RELEASE)
+            and self._objects[obj].kind.is_lock_like
+        ):
+            # Streaming keep/drop decision; a kept contended OBTAIN may
+            # flush a retained waker unit (events of another thread).
+            for out in sampler.process(ev):
+                self._buffers[out.tid].append(out)
+                ring = self._ring
+                if ring is not None:
+                    ring.push(out)
+            return t_ns
         self._buffers[tid].append(ev)
         ring = self._ring
         if ring is not None:
@@ -247,8 +275,14 @@ class ProfilingSession:
                 "threads": {
                     str(tid): name for tid, name in self._thread_names.items()
                 },
-                "meta": {"name": self.name, "source": "instrument"},
+                "meta": self._meta(),
             }
+
+    def _meta(self) -> dict[str, Any]:
+        meta: dict[str, Any] = {"name": self.name, "source": "instrument"}
+        if self._sampler is not None:
+            meta["sampling"] = self._sampler.meta()
+        return meta
 
     # -- assembly -----------------------------------------------------------------
 
@@ -262,5 +296,5 @@ class ProfilingSession:
                 events,
                 objects=dict(self._objects),
                 threads=dict(self._thread_names),
-                meta={"name": self.name, "source": "instrument"},
+                meta=self._meta(),
             )

@@ -1,0 +1,177 @@
+"""Cross-validation of the statistical estimator against the exact engine.
+
+Given a *full* trace, :func:`cross_validate` downsamples it at several
+rates, runs the estimator on each sample and scores it against the exact
+analysis of the full trace:
+
+* **ranking recovery** — does the estimated top-k critical-lock set
+  match the exact top-k set?
+* **interval coverage** — does each lock's reported confidence interval
+  contain the exact ``cp_fraction``?
+* **rate=1.0 identity** — at full rate the point estimates must equal
+  the exact values *bit for bit* (no tolerance).
+
+The harness powers three consumers: the ``sample-coverage`` oracle
+invariant (:mod:`repro.check`, randomly generated programs), the golden
+cross-validation tests (``tests/golden``, pinned workloads) and
+``benchmarks/bench_sampling.py`` (recovery@k vs rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.analyzer import analyze
+from repro.core.estimate import EstimatedReport, estimate_report
+from repro.core.report import AnalysisReport
+from repro.errors import ReproError
+from repro.sampling.sampler import downsample_trace
+from repro.tables import format_table
+from repro.trace.trace import Trace
+from repro.units import format_percent
+
+__all__ = ["LockCoverage", "RateValidation", "CrossValidation", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class LockCoverage:
+    """One (lock, rate) cell: exact value vs estimated interval."""
+
+    name: str
+    exact: float
+    point: float
+    ci_low: float
+    ci_high: float
+    units: int
+
+    @property
+    def covered(self) -> bool:
+        """Whether the interval contains the exact value."""
+        return self.ci_low - 1e-12 <= self.exact <= self.ci_high + 1e-12
+
+
+@dataclass
+class RateValidation:
+    """Estimator scorecard for one sampling rate."""
+
+    rate: float
+    seed: int
+    exact_top: list[str]
+    estimated_top: list[str]
+    coverage: list[LockCoverage] = field(default_factory=list)
+    error: str = ""  # estimator exception text, "" on success
+
+    @property
+    def recovered(self) -> bool:
+        """Whether the estimated top-k set equals the exact top-k set."""
+        return not self.error and set(self.estimated_top) == set(self.exact_top)
+
+    @property
+    def covered_cells(self) -> int:
+        return sum(1 for c in self.coverage if c.covered)
+
+    @property
+    def exact_match(self) -> bool:
+        """Bit-identity of every point estimate (meaningful at rate=1.0)."""
+        return not self.error and all(c.point == c.exact for c in self.coverage)
+
+
+@dataclass
+class CrossValidation:
+    """Scorecards for every requested rate plus the exact baseline."""
+
+    name: str
+    k: int
+    confidence: float
+    exact: AnalysisReport
+    rates: list[RateValidation] = field(default_factory=list)
+
+    @property
+    def cells(self) -> int:
+        return sum(len(rv.coverage) for rv in self.rates if rv.rate < 1.0)
+
+    @property
+    def covered_cells(self) -> int:
+        return sum(rv.covered_cells for rv in self.rates if rv.rate < 1.0)
+
+    def render(self) -> str:
+        rows = [
+            [
+                format_percent(rv.rate, 0),
+                "yes" if rv.recovered else ("ERROR" if rv.error else "no"),
+                f"{rv.covered_cells}/{len(rv.coverage)}",
+                ", ".join(rv.estimated_top) or "-",
+            ]
+            for rv in self.rates
+        ]
+        return format_table(
+            ["Rate", f"Top-{self.k} recovered", "CI coverage", "Estimated top locks"],
+            rows,
+            title=f"sampling cross-validation: {self.name or '(unnamed)'} "
+            f"({format_percent(self.confidence, 0)} CI)",
+        )
+
+
+def _top_names(report: Any, k: int) -> list[str]:
+    """Names of the top-k locks with positive CP share."""
+    if isinstance(report, EstimatedReport):
+        ranked = [e for e in report.top_locks() if e.cp_fraction > 0]
+    else:
+        ranked = [m for m in report.top_locks() if m.cp_fraction > 0]
+    return [m.name for m in ranked[:k]]
+
+
+def cross_validate(
+    trace: Trace,
+    rates: tuple[float, ...] = (1.0, 0.5, 0.1),
+    *,
+    k: int = 3,
+    confidence: float = 0.9,
+    bootstrap: int = 200,
+    seed: int = 0,
+    exact: AnalysisReport | None = None,
+) -> CrossValidation:
+    """Score the sampling estimator against the exact analysis of ``trace``.
+
+    ``seed`` derives one deterministic sampling seed per rate; pass
+    ``exact`` to reuse an already-computed exact report.  Estimator
+    failures are captured per rate (``RateValidation.error``) instead of
+    raised, so the oracle can shrink crashing programs like any other
+    discrepancy.
+    """
+    if exact is None:
+        exact = analyze(trace).report
+    exact_top_all = {m.name: m.cp_fraction for m in exact.locks.values()}
+    out = CrossValidation(
+        name=trace.meta.get("name", ""), k=k, confidence=confidence, exact=exact
+    )
+    for i, rate in enumerate(rates):
+        rate_seed = seed + 1000 * i + int(round(rate * 100))
+        rv = RateValidation(
+            rate=float(rate),
+            seed=rate_seed,
+            exact_top=_top_names(exact, k),
+            estimated_top=[],
+        )
+        try:
+            sampled = downsample_trace(trace, rate, seed=rate_seed)
+            est = estimate_report(
+                sampled, confidence=confidence, bootstrap=bootstrap
+            )
+            rv.estimated_top = _top_names(est, k)
+            for e in est.top_locks():
+                rv.coverage.append(
+                    LockCoverage(
+                        name=e.name,
+                        exact=exact_top_all.get(e.name, 0.0),
+                        point=e.cp_fraction,
+                        ci_low=e.ci_low,
+                        ci_high=e.ci_high,
+                        units=e.units,
+                    )
+                )
+        except ReproError as exc:  # captured, not raised: shrinkable
+            rv.error = f"{type(exc).__name__}: {exc}"
+        out.rates.append(rv)
+    return out

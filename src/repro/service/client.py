@@ -216,6 +216,11 @@ class ServiceClient:
     def analyze(self, digest: str, **params) -> dict[str, Any]:
         return self.wait(self.submit("analyze", digest, params))
 
+    def sampled_analyze(self, digest: str, **params) -> dict[str, Any]:
+        """Statistical estimate from a sampled trace (``repro.core.estimate``);
+        pass ``rate=`` to downsample a full trace server-side first."""
+        return self.wait(self.submit("sampled_analyze", digest, params))
+
     def whatif(self, digest: str, lock: str, factor: float = 0.0, **params) -> dict:
         params = {"lock": lock, "factor": factor, **params}
         return self.wait(self.submit("whatif", digest, params))

@@ -25,13 +25,14 @@ __all__ = ["JOB_KINDS", "JobSpec", "Job", "JobStore", "execute"]
 #: ``check`` runs the differential verification harness over a seed range,
 #: letting the pool fan a large fuzzing campaign out across workers).
 JOB_KINDS = (
-    "analyze", "whatif", "whatif_protocol", "compare", "forecast", "check", "selftest",
+    "analyze", "sampled_analyze", "whatif", "whatif_protocol", "compare",
+    "forecast", "check", "selftest",
 )
 
 #: How many traces each kind consumes.
 _ARITY = {
-    "analyze": 1, "whatif": 1, "whatif_protocol": 1, "compare": 2, "forecast": 1,
-    "check": 0, "selftest": 0,
+    "analyze": 1, "sampled_analyze": 1, "whatif": 1, "whatif_protocol": 1,
+    "compare": 2, "forecast": 1, "check": 0, "selftest": 0,
 }
 
 # Job lifecycle states.
@@ -226,6 +227,31 @@ def _exec_analyze(paths: list[str], params: dict) -> dict:
     return report
 
 
+def _exec_sampled_analyze(paths: list[str], params: dict) -> dict:
+    from repro.core.estimate import estimate_report
+    from repro.sampling import downsample_trace, trace_sample_rate
+    from repro.trace.reader import read_trace
+
+    trace = read_trace(paths[0])
+    rate = params.get("rate")
+    if rate is not None and trace_sample_rate(trace) is None:
+        trace = downsample_trace(trace, float(rate), seed=int(params.get("seed", 0)))
+    est = estimate_report(
+        trace,
+        confidence=float(params.get("confidence", 0.9)),
+        bootstrap=int(params.get("bootstrap", 200)),
+    )
+    report = est.to_dict()
+    report["critical_locks"] = [
+        {"name": e.name, "cp_time_frac": e.cp_fraction,
+         "ci_low": e.ci_low, "ci_high": e.ci_high}
+        for e in est.top_locks(int(params.get("top", 10)))
+    ]
+    if params.get("render"):
+        report["rendered"] = est.render(int(params.get("top", 10)))
+    return report
+
+
 def _exec_whatif(paths: list[str], params: dict) -> dict:
     from repro.core.whatif import predict_no_contention, predict_shrink
     from repro.trace.reader import read_trace
@@ -349,6 +375,7 @@ def _exec_selftest(paths: list[str], params: dict) -> dict:
 
 _EXECUTORS: dict[str, Callable[[list[str], dict], dict]] = {
     "analyze": _exec_analyze,
+    "sampled_analyze": _exec_sampled_analyze,
     "whatif": _exec_whatif,
     "whatif_protocol": _exec_whatif_protocol,
     "compare": _exec_compare,

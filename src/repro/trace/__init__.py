@@ -20,11 +20,12 @@ from repro.trace.framing import (
     sort_stream_records,
     split_records,
 )
+from repro.trace.importers import IMPORT_FORMATS, import_perf_jsonl, import_trace
 from repro.trace.merge import merge_traces
 from repro.trace.reader import iter_trace_chunks, read_trace
 from repro.trace.shard import CutPoint, find_cuts, select_cuts
 from repro.trace.stats import TraceStats, compute_trace_stats
-from repro.trace.transform import filter_threads, slice_time
+from repro.trace.transform import demote_orphan_contention, filter_threads, slice_time
 from repro.trace.writer import write_trace
 from repro.trace.validate import validate_trace
 
@@ -48,6 +49,10 @@ __all__ = [
     "merge_traces",
     "slice_time",
     "filter_threads",
+    "demote_orphan_contention",
+    "IMPORT_FORMATS",
+    "import_trace",
+    "import_perf_jsonl",
     "TraceStats",
     "compute_trace_stats",
     "write_trace",

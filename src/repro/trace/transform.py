@@ -21,11 +21,13 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.errors import TraceError
 from repro.trace.events import Event, EventType, ObjectKind
 from repro.trace.trace import Trace
 
-__all__ = ["slice_time", "filter_threads"]
+__all__ = ["slice_time", "filter_threads", "demote_orphan_contention"]
 
 
 def slice_time(trace: Trace, start: float, end: float) -> Trace:
@@ -196,4 +198,44 @@ def _repair(
     meta["slice_window"] = [start, end]
     return Trace.from_events(
         events, objects=trace.objects, threads=trace.threads, meta=meta
+    )
+
+
+def demote_orphan_contention(trace: Trace) -> tuple[Trace, int]:
+    """Demote contended OBTAINs with no surviving prior RELEASE to arg=0.
+
+    Sampled captures (:mod:`repro.sampling`) and imported foreign dumps
+    (:mod:`repro.trace.importers`) can contain a contended OBTAIN whose
+    waking RELEASE was dropped or never recorded; waker resolution would
+    fail on it.  As in :func:`slice_time`'s boundary repair, the wait
+    context is gone along with the waker, so the acquisition is demoted
+    to uncontended.  Returns ``(trace, number_of_demotions)``; the input
+    trace is returned unchanged when nothing needs repair.
+    """
+    records = trace.records
+    etype = records["etype"]
+    lock_objs = {info.obj for info in trace.objects.values() if info.kind.is_lock_like}
+    released: set[int] = set()
+    demote: list[int] = []
+    candidates = (etype == int(EventType.OBTAIN)) | (etype == int(EventType.RELEASE))
+    for i in np.flatnonzero(candidates):
+        obj = int(records["obj"][i])
+        if obj not in lock_objs:
+            continue
+        if etype[i] == int(EventType.RELEASE):
+            released.add(obj)
+        elif records["arg"][i] and obj not in released:
+            demote.append(int(i))
+    if not demote:
+        return trace, 0
+    repaired = records.copy()
+    repaired["arg"][demote] = 0
+    return (
+        Trace(
+            records=repaired,
+            objects=dict(trace.objects),
+            threads=dict(trace.threads),
+            meta=dict(trace.meta),
+        ),
+        len(demote),
     )

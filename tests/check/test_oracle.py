@@ -128,3 +128,37 @@ def test_discrepancy_rendering():
 
     d = Discrepancy("cp-length", "walk 1.0 != duration 2.0")
     assert str(d) == "[cp-length] walk 1.0 != duration 2.0"
+
+
+def test_catches_dishonest_sampling_intervals(micro_trace, monkeypatch):
+    # Zero-width intervals pinned at the point estimate cannot contain
+    # the exact value at sub-1.0 rates: sample-coverage must fire.
+    from repro.core.estimate import estimate_report as real
+    from repro.sampling import crossval as crossval_mod
+
+    def degenerate(trace, *a, **kw):
+        import dataclasses
+
+        est = real(trace, *a, **kw)
+        est.locks = {
+            obj: dataclasses.replace(e, ci_low=0.5, ci_high=0.5)
+            for obj, e in est.locks.items()  # confident and wrong
+        }
+        return est
+
+    monkeypatch.setattr(crossval_mod, "estimate_report", degenerate)
+    invariants = {d.invariant for d in check_trace(micro_trace, False)}
+    assert "sample-coverage" in invariants
+
+
+def test_catches_crashing_estimator(micro_trace, monkeypatch):
+    from repro.errors import AnalysisError
+    from repro.sampling import crossval as crossval_mod
+
+    def boom(trace, *a, **kw):
+        raise AnalysisError("estimator exploded")
+
+    monkeypatch.setattr(crossval_mod, "estimate_report", boom)
+    found = [d for d in check_trace(micro_trace, False)
+             if d.invariant == "sample-coverage"]
+    assert found and "exploded" in found[0].detail

@@ -13,16 +13,26 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from test_golden_reports import CASES, GOLDEN_DIR, render_case  # noqa: E402
+from test_golden_reports import (  # noqa: E402
+    CASES,
+    GOLDEN_DIR,
+    SAMPLED_CASES,
+    render_case,
+    render_sampled_case,
+)
+
+
+def _write(path: pathlib.Path, text: str) -> None:
+    changed = not path.exists() or path.read_text() != text
+    path.write_text(text)
+    print(f"{'updated' if changed else 'unchanged'}  {path}")
 
 
 def main() -> int:
     for case in sorted(CASES):
-        path = GOLDEN_DIR / f"{case}.txt"
-        text = render_case(case)
-        changed = not path.exists() or path.read_text() != text
-        path.write_text(text)
-        print(f"{'updated' if changed else 'unchanged'}  {path}")
+        _write(GOLDEN_DIR / f"{case}.txt", render_case(case))
+    for case in sorted(SAMPLED_CASES):
+        _write(GOLDEN_DIR / f"{case}.sampled.txt", render_sampled_case(case))
     return 0
 
 

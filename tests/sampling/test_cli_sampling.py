@@ -1,0 +1,75 @@
+"""CLI surface of the sampling pipeline: analyze --sample-rate, import."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLE = pathlib.Path(__file__).parents[2] / "examples" / "perf_lock_events.jsonl"
+
+
+@pytest.fixture
+def micro_path(tmp_path):
+    path = tmp_path / "micro.clt"
+    assert main(["run", "micro", "-t", "4", "-o", str(path)]) == 0
+    return str(path)
+
+
+def test_analyze_with_sample_rate_prints_both_reports(micro_path, capsys):
+    capsys.readouterr()
+    assert main(["analyze", micro_path, "--sample-rate", "0.5",
+                 "--sample-seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "TYPE 1 — critical lock statistics" in out  # exact report first
+    assert "statistical critical lock estimate" in out
+    assert "rate=50.00%" in out
+
+
+def test_analyze_with_sample_rate_json(micro_path, capsys):
+    capsys.readouterr()
+    assert main(["analyze", micro_path, "--sample-rate", "1.0", "--json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert set(blob) == {"exact", "estimated"}
+    exact = blob["exact"]["locks"]["L2"]["cp_time_frac"]
+    assert blob["estimated"]["locks"]["L2"]["cp_time_frac"] == exact
+
+
+def test_analyze_sampled_trace_estimates_only(micro_path, tmp_path, capsys):
+    sampled = tmp_path / "sampled.clt"
+    from repro.sampling import downsample_trace
+    from repro.trace import read_trace, write_trace
+
+    write_trace(downsample_trace(read_trace(micro_path), 0.5, seed=3), sampled)
+    capsys.readouterr()
+    assert main(["analyze", str(sampled), "--json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["sampling"]["rate"] == 0.5  # estimate only, no exact half
+
+
+def test_import_subcommand_writes_and_reports(tmp_path, capsys):
+    out_path = tmp_path / "imported.clt"
+    assert main(["import", str(EXAMPLE), "-o", str(out_path), "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "imported" in out and "36 events" in out
+    assert "rq->lock" in out
+    assert out_path.exists()
+
+    capsys.readouterr()
+    assert main(["analyze", str(out_path)]) == 0
+    assert "rq->lock" in capsys.readouterr().out
+
+
+def test_import_unknown_format_fails(tmp_path, capsys):
+    assert main(["import", str(EXAMPLE), "--format", "ftrace"]) != 0
+    assert "unknown import format" in capsys.readouterr().err
+
+
+def test_import_malformed_dump_reports_line(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ts": 0.0, "tid": 1, "event": "acquired", "lock": "m"}\n'
+                   "{not json}\n")
+    assert main(["import", str(bad)]) != 0
+    err = capsys.readouterr().err
+    assert f"{bad}:2:" in err

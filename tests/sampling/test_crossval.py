@@ -1,0 +1,85 @@
+"""Cross-validation of the statistical estimator against the exact engine.
+
+These are the acceptance tests of the sampling pipeline: on both pinned
+golden workloads, sampling at every tested rate (down to 10%) must
+recover the exact analyzer's top-3 critical-lock set, and the exact
+``cp_fraction`` of every reported lock must lie inside the estimator's
+90% confidence interval.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.sampling import cross_validate
+from repro.workloads import get_workload
+
+RATES = (1.0, 0.5, 0.1)
+
+CASES = {
+    "radiosity": ("radiosity", {"total_tasks": 80, "iterations": 2}, 4, 11),
+    "ldap": (
+        "openldap",
+        {"requests": 150, "nbuckets": 2, "write_prob": 0.35,
+         "write_cost": 0.12, "lookup_cost": 0.04},
+        6,
+        1,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def validations():
+    """One CrossValidation per golden case (exact analysis reused)."""
+    out = {}
+    for case, (workload, params, nthreads, seed) in CASES.items():
+        trace = get_workload(workload)(**params).run(nthreads=nthreads, seed=seed).trace
+        exact = analyze(trace).report
+        out[case] = cross_validate(trace, rates=RATES, k=3, seed=0, exact=exact)
+    return out
+
+
+def _rate(cv, rate):
+    return next(rv for rv in cv.rates if rv.rate == rate)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("rate", RATES)
+def test_top3_ranking_recovered(validations, case, rate):
+    rv = _rate(validations[case], rate)
+    assert not rv.error
+    assert rv.recovered, (
+        f"{case} at rate {rate}: estimated top-3 {rv.estimated_top} != "
+        f"exact top-3 {rv.exact_top}"
+    )
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("rate", RATES)
+def test_exact_value_inside_interval(validations, case, rate):
+    rv = _rate(validations[case], rate)
+    uncovered = [c for c in rv.coverage if not c.covered]
+    assert not uncovered, (
+        f"{case} at rate {rate}: "
+        + "; ".join(
+            f"{c.name}: exact {c.exact:.4f} outside [{c.ci_low:.4f}, {c.ci_high:.4f}]"
+            for c in uncovered
+        )
+    )
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_rate_one_is_exact(validations, case):
+    rv = _rate(validations[case], 1.0)
+    assert rv.exact_match  # every point bit-equal to the exact cp_fraction
+    for c in rv.coverage:
+        assert c.ci_low == c.ci_high == c.point == c.exact
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_render_summarizes_all_rates(validations, case):
+    text = validations[case].render()
+    for rate in RATES:
+        assert f"{rate:.2f}" in text or f"{int(rate * 100)}%" in text
+    assert "top-3" in text or "recovered" in text

@@ -1,0 +1,109 @@
+"""Estimator unit tests: exact-at-rate-1, intervals, errors, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.estimate import _MIN_UNITS, estimate_report
+from repro.errors import AnalysisError
+from repro.sampling import downsample_trace
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def micro_trace():
+    return get_workload("micro")().run(nthreads=4, seed=0).trace
+
+
+@pytest.fixture(scope="module")
+def radiosity_trace():
+    return (
+        get_workload("radiosity")(total_tasks=40, iterations=2)
+        .run(nthreads=4, seed=11)
+        .trace
+    )
+
+
+def test_rate_one_points_bit_identical_to_exact(radiosity_trace):
+    exact = analyze(radiosity_trace).report
+    est = estimate_report(downsample_trace(radiosity_trace, 1.0, seed=0))
+    for m in exact.locks.values():
+        e = est.locks[m.obj]
+        assert e.cp_fraction == m.cp_fraction  # bit-for-bit, no tolerance
+        assert e.ci_low == e.ci_high == e.cp_fraction
+        assert e.units == m.total_invocations
+        assert e.est_invocations == pytest.approx(m.total_invocations)
+
+
+def test_estimate_requires_sampling_metadata_or_rate(micro_trace):
+    with pytest.raises(AnalysisError, match="no sampling metadata"):
+        estimate_report(micro_trace)
+    # An explicit rate makes an unsampled trace estimable (rate 1.0).
+    est = estimate_report(micro_trace, rate=1.0)
+    exact = analyze(micro_trace).report
+    assert est.locks[exact.lock("L2").obj].cp_fraction == exact.lock("L2").cp_fraction
+
+
+def test_invalid_parameters_rejected(micro_trace):
+    with pytest.raises(AnalysisError, match="rate"):
+        estimate_report(micro_trace, rate=0.0)
+    with pytest.raises(AnalysisError, match="rate"):
+        estimate_report(micro_trace, rate=1.5)
+    with pytest.raises(AnalysisError, match="confidence"):
+        estimate_report(micro_trace, rate=1.0, confidence=1.0)
+
+
+def test_intervals_are_well_formed(radiosity_trace):
+    sampled = downsample_trace(radiosity_trace, 0.5, seed=3)
+    est = estimate_report(sampled)
+    assert est.rate == 0.5 and est.seed == 3
+    for e in est.locks.values():
+        assert 0.0 <= e.ci_low <= e.ci_high <= 1.0
+        assert 0.0 <= e.cp_fraction <= 1.0
+        assert e.ci_low <= min(e.cp_fraction, 1.0)
+
+
+def test_small_samples_report_full_ignorance(radiosity_trace):
+    """Below _MIN_UNITS the bootstrap has ~no variance; the interval must
+    widen to [0, 1] instead of pretending certainty."""
+    sampled = downsample_trace(radiosity_trace, 0.1, seed=7)
+    est = estimate_report(sampled)
+    small = [e for e in est.locks.values() if 0 < e.units < _MIN_UNITS]
+    assert small, "expected at least one sparsely-sampled lock at rate 0.1"
+    for e in small:
+        assert (e.ci_low, e.ci_high) == (0.0, 1.0)
+
+
+def test_estimate_is_deterministic(radiosity_trace):
+    sampled = downsample_trace(radiosity_trace, 0.3, seed=5)
+    a = estimate_report(sampled)
+    b = estimate_report(sampled)
+    for obj in a.locks:
+        assert (a.locks[obj].ci_low, a.locks[obj].ci_high) == (
+            b.locks[obj].ci_low,
+            b.locks[obj].ci_high,
+        )
+
+
+def test_lock_lookup_and_top(radiosity_trace):
+    est = estimate_report(downsample_trace(radiosity_trace, 1.0))
+    top = est.top_locks(3)
+    assert len(top) == 3
+    assert top[0].cp_fraction >= top[1].cp_fraction >= top[2].cp_fraction
+    assert est.lock(top[0].name) is top[0]
+    with pytest.raises(AnalysisError, match="no lock named"):
+        est.lock("no-such-lock")
+
+
+def test_render_and_to_dict(radiosity_trace):
+    est = estimate_report(downsample_trace(radiosity_trace, 0.5, seed=1))
+    text = est.render(5)
+    assert "statistical critical lock estimate" in text
+    assert "90% CI" in text
+    d = est.to_dict()
+    assert d["sampling"] == {"strategy": "unit-hash", "rate": 0.5, "seed": 1}
+    assert d["estimator"]["confidence"] == 0.9
+    for name, row in d["locks"].items():
+        assert row["ci_low"] <= row["ci_high"]
+        assert est.lock(name).units == row["units"]

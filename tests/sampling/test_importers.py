@@ -1,0 +1,182 @@
+"""Foreign-trace importer tests: round-trips and line-numbered errors."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.estimate import estimate_report
+from repro.errors import TraceFormatError
+from repro.trace import (
+    EventType,
+    import_perf_jsonl,
+    import_trace,
+    read_trace,
+    write_trace,
+)
+from repro.trace.validate import validate_trace
+
+EXAMPLE = pathlib.Path(__file__).parents[2] / "examples" / "perf_lock_events.jsonl"
+
+
+def write_lines(tmp_path, lines, name="dump.jsonl"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def ev(ts, tid, event, lock, **extra):
+    return json.dumps({"ts": ts, "tid": tid, "event": event, "lock": lock, **extra})
+
+
+# -- the checked-in example ------------------------------------------------
+
+
+def test_example_dump_imports_and_analyzes():
+    trace = import_perf_jsonl(EXAMPLE)
+    validate_trace(trace)
+    assert trace.meta["source"] == "import:perf-jsonl"
+    assert len(trace.threads) == 3
+    assert trace.thread_name(trace.thread_ids[0]) == "worker-0"
+    assert {o.name for o in trace.locks} == {
+        "rq->lock", "hash->bucket[3]", "log->mutex",
+    }
+    report = analyze(trace).report
+    # rq->lock carries the contended handoffs; it must rank first.
+    top = max(report.locks.values(), key=lambda m: m.cp_fraction)
+    assert top.name == "rq->lock"
+
+
+def test_example_dump_feeds_the_estimator():
+    trace = import_perf_jsonl(EXAMPLE)
+    est = estimate_report(trace, rate=1.0)
+    assert est.top_locks(1)[0].name == "rq->lock"
+
+
+def test_imported_trace_round_trips_through_native_format(tmp_path):
+    trace = import_perf_jsonl(EXAMPLE)
+    path = tmp_path / "imported.clt"
+    write_trace(trace, path)
+    back = read_trace(path)
+    assert back.records.tobytes() == trace.records.tobytes()
+    assert back.meta["import"]["file"] == EXAMPLE.name
+
+
+def test_import_trace_dispatcher(tmp_path):
+    trace = import_trace(EXAMPLE, format="perf-jsonl")
+    assert len(trace) > 0
+    with pytest.raises(TraceFormatError, match="unknown import format"):
+        import_trace(EXAMPLE, format="ftrace")
+
+
+# -- repairs ----------------------------------------------------------------
+
+
+def test_blank_lines_skipped_and_lifecycle_synthesized(tmp_path):
+    path = write_lines(
+        tmp_path,
+        [
+            ev(0.0, 1, "acquire", "m"),
+            "",
+            ev(0.1, 1, "acquired", "m"),
+            ev(0.5, 1, "release", "m"),
+        ],
+    )
+    trace = import_perf_jsonl(path)
+    validate_trace(trace)
+    assert trace.count(EventType.THREAD_START) == 1
+    assert trace.count(EventType.THREAD_EXIT) == 1
+
+
+def test_unmatched_release_dropped_and_counted(tmp_path):
+    path = write_lines(
+        tmp_path,
+        [
+            ev(0.0, 1, "release", "m"),  # hold opened before the capture
+            ev(0.1, 1, "acquired", "m"),
+            ev(0.5, 1, "release", "m"),
+        ],
+    )
+    trace = import_perf_jsonl(path)
+    assert trace.meta["import"]["dropped_releases"] == 1
+    assert trace.count(EventType.RELEASE) == 1
+
+
+def test_open_hold_forced_closed(tmp_path):
+    path = write_lines(
+        tmp_path,
+        [
+            ev(0.0, 1, "acquired", "m"),
+            ev(0.4, 1, "acquired", "n"),  # still held at capture end
+            ev(0.5, 1, "release", "m"),
+        ],
+    )
+    trace = import_perf_jsonl(path)
+    validate_trace(trace)
+    assert trace.meta["import"]["forced_closes"] == 1
+
+
+def test_orphan_contention_demoted(tmp_path):
+    # A contended acquisition whose waking release precedes the capture
+    # window must be demoted to uncontended, not rejected.
+    path = write_lines(
+        tmp_path,
+        [
+            ev(0.0, 1, "acquire", "m"),
+            ev(0.3, 1, "acquired", "m", contended=True),
+            ev(0.5, 1, "release", "m"),
+        ],
+    )
+    trace = import_perf_jsonl(path)
+    validate_trace(trace)
+    assert trace.meta["import"]["demoted_waits"] == 1
+
+
+# -- strict failures, all with path:line ------------------------------------
+
+
+@pytest.mark.parametrize(
+    "lines, lineno, match",
+    [
+        (['{"ts": 0.0, "tid":'], 1, "malformed JSON"),
+        (['["ts", 0.0]'], 1, "expected an object"),
+        ([ev(0.0, 1, "acquired", "m"), ev(0.1, 1, "locked", "m")], 2, "unknown event"),
+        ([ev(0.0, 1, "acquired", "m", cpu=3)], 1, "unknown field"),
+        (['{"ts": 0.0, "tid": 1, "event": "acquired"}'], 1, "missing field.*lock"),
+        ([ev("soon", 1, "acquired", "m")], 1, "bad ts/tid"),
+        (
+            [ev(0.5, 1, "acquired", "m"), ev(0.2, 1, "release", "m")],
+            2,
+            "timestamp goes backwards",
+        ),
+    ],
+)
+def test_malformed_input_raises_with_line_number(tmp_path, lines, lineno, match):
+    path = write_lines(tmp_path, lines)
+    with pytest.raises(TraceFormatError, match=match) as exc:
+        import_perf_jsonl(path)
+    assert f"{path}:{lineno}:" in str(exc.value)
+
+
+def test_out_of_order_timestamps_across_threads_allowed(tmp_path):
+    # Regression is per-thread: interleaved threads may jump backwards
+    # relative to each other (perf merges per-CPU buffers).
+    path = write_lines(
+        tmp_path,
+        [
+            ev(0.5, 1, "acquired", "m"),
+            ev(0.1, 2, "acquired", "n"),
+            ev(0.6, 1, "release", "m"),
+            ev(0.7, 2, "release", "n"),
+        ],
+    )
+    validate_trace(import_perf_jsonl(path))
+
+
+def test_empty_dump_rejected(tmp_path):
+    path = write_lines(tmp_path, [""])
+    with pytest.raises(TraceFormatError, match="no lock events"):
+        import_perf_jsonl(path)

@@ -1,0 +1,82 @@
+"""Live capture through ProfilingSession(sample_rate=...).
+
+The streaming sampler sits inside ``emit()``; these tests check the
+live-captured sampled trace carries the metadata header, stays valid,
+matches the offline downsample of the full capture, and that rate 1.0
+(or None) bypasses the sampler entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimate import estimate_report
+from repro.instrument import ProfilingSession, VirtualClock
+from repro.sampling import downsample_trace, trace_sample_rate
+from repro.trace.transform import demote_orphan_contention
+from repro.trace.validate import validate_trace
+
+
+def capture(sample_rate=None, sample_seed=0, invocations=40):
+    """Single-threaded deterministic workload over two locks."""
+    clock = VirtualClock()
+    with ProfilingSession(
+        name="live", clock=clock, sample_rate=sample_rate, sample_seed=sample_seed
+    ) as s:
+        a, b = s.lock("A"), s.lock("B")
+        for i in range(invocations):
+            lock = a if i % 2 == 0 else b
+            clock.advance(1000)
+            lock.acquire()
+            clock.advance(5000)
+            lock.release()
+    return s.trace()
+
+
+def test_sampled_session_carries_metadata_and_validates():
+    trace = capture(sample_rate=0.3, sample_seed=7)
+    assert trace.meta["sampling"] == {
+        "strategy": "unit-hash", "rate": 0.3, "seed": 7,
+    }
+    assert trace_sample_rate(trace) == 0.3
+    repaired, _ = demote_orphan_contention(trace)
+    validate_trace(repaired)
+    est = estimate_report(trace)
+    assert est.rate == 0.3
+
+
+def test_live_sampling_matches_offline_downsample():
+    """Capturing at rate r must keep exactly the units that downsampling
+    the full capture at rate r keeps (same hash, same seed)."""
+    full = capture(sample_rate=None)
+    live = capture(sample_rate=0.3, sample_seed=7)
+    offline = downsample_trace(full, 0.3, seed=7)
+    # from_events renumbered seqs; compare (time, tid, etype, obj, arg).
+    def rows(trace):
+        return [
+            (r["time"], r["tid"], r["etype"], r["obj"], r["arg"])
+            for r in trace.records
+        ]
+
+    assert rows(live) == rows(offline)
+
+
+def test_rate_one_and_none_bypass_the_sampler():
+    assert ProfilingSession(sample_rate=None)._sampler is None
+    assert ProfilingSession(sample_rate=1.0)._sampler is None
+    trace = capture(sample_rate=1.0)
+    assert trace_sample_rate(trace) is None  # full capture, no header
+    assert len(trace) == len(capture(sample_rate=None))
+
+
+def test_sampling_reduces_event_volume():
+    full = capture(sample_rate=None, invocations=200)
+    sampled = capture(sample_rate=0.1, sample_seed=1, invocations=200)
+    assert len(sampled) < len(full) / 2
+
+
+def test_invalid_session_rate_rejected():
+    from repro.errors import TraceError
+
+    with pytest.raises(TraceError):
+        ProfilingSession(sample_rate=-0.5)

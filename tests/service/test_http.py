@@ -115,3 +115,13 @@ def test_metrics_expose_latency_histogram(client, digest):
     assert hist["count"] >= 1
     assert hist["sum"] > 0
     assert m["queue"]["workers"] == 1
+
+
+def test_sampled_analyze_over_http(client, micro, digest):
+    result = client.sampled_analyze(digest, rate=1.0, top=3)
+    exact = analyze(micro).report
+    assert result["sampling"]["rate"] == 1.0
+    top = result["critical_locks"][0]
+    assert top["name"] == "L2"
+    assert top["cp_time_frac"] == exact.lock("L2").cp_fraction
+    assert top["ci_low"] <= top["cp_time_frac"] <= top["ci_high"]

@@ -141,3 +141,33 @@ class TestExecute:
             ("forecast", {}),
         ]:
             json.dumps(execute(kind, [micro_path], params))
+
+
+class TestSampledAnalyze:
+    def test_downsamples_full_trace_server_side(self, micro_trace, micro_path):
+        out = execute(
+            "sampled_analyze", [micro_path],
+            {"rate": 1.0, "seed": 0, "render": True, "top": 3},
+        )
+        exact = analyze(micro_trace).report
+        assert out["sampling"] == {"strategy": "unit-hash", "rate": 1.0, "seed": 0}
+        ranked = out["critical_locks"]
+        assert ranked[0]["name"] == "L2"
+        # Rate 1.0 through the service is still bit-identical to exact.
+        assert ranked[0]["cp_time_frac"] == exact.lock("L2").cp_fraction
+        assert "statistical critical lock estimate" in out["rendered"]
+
+    def test_accepts_pre_sampled_trace(self, micro_trace, tmp_path):
+        from repro.sampling import downsample_trace
+
+        sampled = downsample_trace(micro_trace, 0.5, seed=3)
+        path = str(write_trace(sampled, tmp_path / "sampled.clt"))
+        out = execute("sampled_analyze", [path], {})
+        assert out["sampling"]["rate"] == 0.5
+        for row in out["locks"].values():
+            assert 0.0 <= row["ci_low"] <= row["ci_high"] <= 1.0
+
+    def test_json_serializable(self, micro_path):
+        import json
+
+        json.dumps(execute("sampled_analyze", [micro_path], {"rate": 0.5}))
