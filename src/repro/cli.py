@@ -10,6 +10,8 @@
     critical-lock-analysis experiment fig9
     critical-lock-analysis check --seeds 200
     critical-lock-analysis serve --port 8323 --workers 4
+    critical-lock-analysis fleet summary --store .cla-service
+    critical-lock-analysis fleet lint-rules docs/examples/fleet-alerts.toml
     critical-lock-analysis list
 
 (also invocable as ``python -m repro``.)
@@ -255,6 +257,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=256,
         help="in-memory result cache entries (default: %(default)s)",
     )
+    srv_p.add_argument(
+        "--rules", metavar="FILE",
+        help="TOML alert-rule spec served at /fleet/alerts and the dashboard",
+    )
+
+    fl_p = sub.add_parser(
+        "fleet",
+        help="cross-trace fleet analytics: cluster summary, ranking "
+        "regressions, alert rules, live watch",
+    )
+    fl_sub = fl_p.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_common(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--store", default=".cla-service", metavar="DIR",
+            help="service data dir holding the trace store (default: %(default)s)",
+        )
+        sp.add_argument("--service", metavar="URL",
+                        help="query a running service instead of local state")
+        sp.add_argument("--json", action="store_true", help="machine-readable output")
+
+    fs_p = fl_sub.add_parser("summary", help="fingerprinted bottleneck clusters")
+    _fleet_common(fs_p)
+    fs_p.add_argument("--top", type=int, default=15, help="clusters to show")
+
+    fr_p = fl_sub.add_parser(
+        "regressions", help="ranking shifts beyond the calibrated noise band"
+    )
+    _fleet_common(fr_p)
+    fr_p.add_argument("--topk", type=int, default=None,
+                      help="ranking depth for churn detection")
+    fr_p.add_argument("--noise-floor", type=float, default=None,
+                      help="minimum cp_fraction delta worth flagging")
+    fr_p.add_argument("--sigma", type=float, default=None,
+                      help="noise-band width in baseline standard deviations")
+
+    fa_p = fl_sub.add_parser("alerts", help="evaluate an alert-rule spec")
+    _fleet_common(fa_p)
+    fa_p.add_argument("--rules", metavar="FILE",
+                      help="TOML rule spec (required unless --service)")
+
+    fw_p = fl_sub.add_parser(
+        "watch", help="follow a service's fleet SSE stream and print events"
+    )
+    fw_p.add_argument("--service", required=True, metavar="URL")
+    fw_p.add_argument("--events", type=int, default=0,
+                      help="stop after N events (0 = until interrupted)")
+    fw_p.add_argument("--timeout", type=float, default=60.0,
+                      help="per-read socket timeout (default: %(default)s)")
+    fw_p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    flr_p = fl_sub.add_parser(
+        "lint-rules", help="validate alert-rule spec files without a store"
+    )
+    flr_p.add_argument("rules", nargs="+", help="TOML rule spec file(s)")
 
     sub.add_parser("list", help="list workloads and experiments")
     return p
@@ -588,7 +645,117 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         data_dir=args.data_dir,
         workers=args.workers,
         cache_capacity=args.cache_size,
+        rules_path=args.rules,
     )
+
+
+def _local_fleet(store_dir: str):
+    """Aggregator over a service data dir, caught up with its trace store."""
+    from pathlib import Path
+
+    from repro.fleet import FleetAggregator, ingest_store
+    from repro.service.store import TraceStore
+
+    root = Path(store_dir)
+    agg = FleetAggregator(root / "fleet")
+    if (root / "traces").exists():
+        ingest_store(agg, TraceStore(root / "traces"))
+    return agg
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        lint_rules,
+        render_alerts,
+        render_regressions,
+        render_summary,
+    )
+
+    cmd = args.fleet_command
+    if cmd == "lint-rules":
+        problems = lint_rules(args.rules)
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if not problems:
+            n = len(args.rules)
+            print(f"{n} rule file(s) OK")
+        return 1 if problems else 0
+
+    if cmd == "watch":
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.service)
+        shown = 0
+        while args.events <= 0 or shown < args.events:
+            want = 1 if args.events <= 0 else args.events - shown
+            events = client.fleet_events(max_events=want, timeout=args.timeout)
+            if not events:
+                break
+            for event in events:
+                shown += 1
+                if args.json:
+                    print(json.dumps(event))
+                else:
+                    summ = event.get("summary", {})
+                    print(
+                        f"fleet v{event.get('version')}: "
+                        f"{summ.get('traces', 0)} traces, "
+                        f"{summ.get('clusters', 0)} clusters, "
+                        f"{event.get('regressions', 0)} regression flag(s), "
+                        f"{event.get('alerts', 0)} alert(s)"
+                    )
+                    for row in summ.get("top", []):
+                        print(f"  {row['workload']:<16} {row['site']:<28} "
+                              f"cp {row['cp_latest']:.3f}")
+        return 0
+
+    if cmd == "summary":
+        if args.service:
+            from repro.service.client import ServiceClient
+
+            doc = ServiceClient(args.service).fleet_summary(top=args.top)
+        else:
+            doc = _local_fleet(args.store).summary(top=args.top)
+        print(json.dumps(doc, indent=2) if args.json else render_summary(doc, n=args.top))
+        return 0
+
+    if cmd == "regressions":
+        if args.service:
+            from repro.service.client import ServiceClient
+
+            doc = ServiceClient(args.service).fleet_regressions(
+                topk=args.topk, noise_floor=args.noise_floor, sigma=args.sigma
+            )
+        else:
+            kwargs = {}
+            if args.topk is not None:
+                kwargs["topk"] = args.topk
+            if args.noise_floor is not None:
+                kwargs["noise_floor"] = args.noise_floor
+            if args.sigma is not None:
+                kwargs["sigma"] = args.sigma
+            doc = _local_fleet(args.store).regressions(**kwargs)
+        print(json.dumps(doc, indent=2) if args.json else render_regressions(doc))
+        return 1 if doc.get("flags") else 0
+
+    # cmd == "alerts"
+    if args.service:
+        from repro.service.client import ServiceClient
+
+        doc = ServiceClient(args.service).fleet_alerts()
+        alerts, nrules = doc["alerts"], doc["rules"]
+    else:
+        from repro.fleet import evaluate_rules, load_rules
+
+        if not args.rules:
+            raise ReproError("fleet alerts needs --rules FILE (or --service URL)")
+        rules = load_rules(args.rules)
+        alerts, nrules = evaluate_rules(rules, _local_fleet(args.store)), len(rules)
+    if args.json:
+        print(json.dumps({"rules": nrules, "alerts": alerts}, indent=2))
+    else:
+        print(render_alerts(alerts, nrules))
+    return 1 if alerts else 0
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -617,6 +784,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "live": _cmd_live,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
         "list": _cmd_list,
     }[args.command]
     try:

@@ -23,6 +23,7 @@ __all__ = [
     "WorkloadError",
     "ServiceError",
     "CheckError",
+    "RuleError",
 ]
 
 
@@ -115,3 +116,7 @@ class ServiceError(ReproError):
 
 class CheckError(ReproError):
     """The differential verification harness was misused (bad spec/repro file)."""
+
+
+class RuleError(ReproError):
+    """A fleet alert-rule spec failed to parse or lint (see repro.fleet.rules)."""

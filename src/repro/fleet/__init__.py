@@ -1,0 +1,61 @@
+"""Fleet observability: cross-trace analytics over the trace store.
+
+The paper diagnoses one execution; a fleet asks which critical-lock
+bottleneck *recurs* across thousands of stored traces and when a
+workload's ranking shifted.  This package answers both:
+
+* :mod:`repro.fleet.fingerprint` — stable lock identity across runs.
+* :mod:`repro.fleet.aggregate` — per-workload time-series, clustering,
+  and calibrated regression detection.
+* :mod:`repro.fleet.rules` — Prometheus-style alert rules (TOML) with a
+  CI-grade linter.
+* :mod:`repro.fleet.dashboard` — the live HTML/SSE dashboard.
+* :mod:`repro.fleet.ingest` — incremental aggregation on store writes.
+
+See ``docs/fleet.md``.
+"""
+
+from repro.fleet.aggregate import (
+    FleetAggregator,
+    Observation,
+    render_regressions,
+    render_summary,
+)
+from repro.fleet.dashboard import render_dashboard, render_sparkline
+from repro.fleet.fingerprint import (
+    LockFingerprint,
+    canonical_site,
+    fingerprint_lock,
+    workload_of,
+)
+from repro.fleet.ingest import FleetIngestor, ingest_store, observe_stored_trace
+from repro.fleet.rules import (
+    AlertRule,
+    evaluate_rules,
+    lint_rules,
+    load_rules,
+    parse_rules,
+    render_alerts,
+)
+
+__all__ = [
+    "FleetAggregator",
+    "Observation",
+    "render_summary",
+    "render_regressions",
+    "render_dashboard",
+    "render_sparkline",
+    "LockFingerprint",
+    "canonical_site",
+    "fingerprint_lock",
+    "workload_of",
+    "FleetIngestor",
+    "ingest_store",
+    "observe_stored_trace",
+    "AlertRule",
+    "load_rules",
+    "parse_rules",
+    "lint_rules",
+    "evaluate_rules",
+    "render_alerts",
+]

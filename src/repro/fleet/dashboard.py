@@ -1,0 +1,193 @@
+"""Self-contained live HTML dashboard over fleet state.
+
+``GET /dashboard`` on the analysis service returns this page: cluster
+and regression tables plus inline SVG sparklines of each cluster's
+``cp_fraction`` series (the same dependency-free SVG idiom as
+:mod:`repro.viz.svg` and the tables of :mod:`repro.report_html`).  A
+small script subscribes to the ``/fleet/events`` SSE stream and
+re-renders in place whenever the aggregator's version advances, so the
+page follows uploads and finalized stream sessions live without
+polling.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+from xml.sax.saxutils import escape
+
+__all__ = ["render_dashboard", "render_sparkline"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 1100px; color: #212121; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.6em 0; font-size: 0.9em; }
+th, td { border: 1px solid #ddd; padding: 4px 10px; text-align: right; }
+th { background: #f5f5f5; } td:first-child, th:first-child { text-align: left; }
+tr.flagged td { background: #FFF3E0; }
+tr.alert-page td { background: #FFEBEE; }
+.note { color: #616161; font-size: 0.85em; }
+#live { color: #2E7D32; font-size: 0.85em; }
+svg.spark { vertical-align: middle; }
+"""
+
+_SPARK_W = 120
+_SPARK_H = 22
+_SPARK_COLOR = "#0072B2"
+_SPARK_LAST = "#D32F2F"
+
+
+def render_sparkline(
+    series: list[float],
+    width: int = _SPARK_W,
+    height: int = _SPARK_H,
+    vmax: float | None = None,
+) -> str:
+    """Inline SVG sparkline of one cluster's cp_fraction series."""
+    if not series:
+        return ""
+    vmax = max(vmax if vmax is not None else 0.0, max(series), 1e-9)
+    n = len(series)
+    step = width / max(n - 1, 1)
+    pts = " ".join(
+        f"{i * step:.1f},{height - 2 - (v / vmax) * (height - 4):.1f}"
+        for i, v in enumerate(series)
+    )
+    last_x = (n - 1) * step
+    last_y = height - 2 - (series[-1] / vmax) * (height - 4)
+    return (
+        f'<svg class="spark" xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width}" height="{height}">'
+        f'<polyline points="{pts}" fill="none" stroke="{_SPARK_COLOR}" '
+        f'stroke-width="1.5"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2" fill="{_SPARK_LAST}"/>'
+        "</svg>"
+    )
+
+
+def _pct(v: float) -> str:
+    return f"{100.0 * v:.1f}%"
+
+
+def _table(headers: list[str], rows: list[tuple[str, list[str]]]) -> str:
+    head = "".join(f"<th>{escape(h)}</th>" for h in headers)
+    body = []
+    for cls, row in rows:
+        attr = f' class="{cls}"' if cls else ""
+        body.append(f"<tr{attr}>{''.join(f'<td>{c}</td>' for c in row)}</tr>")
+    return f"<table><tr>{head}</tr>{''.join(body)}</table>"
+
+
+def render_dashboard(
+    summary: dict[str, Any],
+    regressions: dict[str, Any],
+    alerts: list[dict[str, Any]],
+    nrules: int = 0,
+    top: int = 15,
+) -> str:
+    """Render fleet state as one self-contained live HTML page."""
+    flagged_fps = {
+        f.get("fingerprint")
+        for f in regressions.get("flags", [])
+        if f.get("fingerprint")
+    }
+    cluster_rows: list[tuple[str, list[str]]] = []
+    for c in summary.get("top", [])[:top]:
+        cls = "flagged" if c["fingerprint"] in flagged_fps else ""
+        cluster_rows.append(
+            (
+                cls,
+                [
+                    escape(c["workload"]),
+                    escape(c["site"]),
+                    f"<code>{escape(c['fingerprint'][:8])}</code>",
+                    str(c["runs"]),
+                    _pct(c["cp_mean"]),
+                    _pct(c["cp_latest"]),
+                    _pct(c["cont_max"]),
+                    render_sparkline(c.get("series", [])),
+                ],
+            )
+        )
+
+    regression_rows: list[tuple[str, list[str]]] = []
+    for f in regressions.get("flags", []):
+        if f["kind"] == "cp_shift":
+            detail = (
+                f"{_pct(f['baseline'])} &rarr; {_pct(f['latest'])} "
+                f"(&Delta; {f['delta']:+.3f}, band {f['band']:.3f})"
+            )
+            site = escape(f["site"])
+        elif f["kind"] == "top1_change":
+            detail = f"was {escape(f['previous_site'])}"
+            site = escape(f["site"])
+        else:
+            detail = f"top-k churn {_pct(f['churn'])}"
+            site = "&mdash;"
+        regression_rows.append(
+            ("flagged", [escape(f["workload"]), escape(f["kind"]), site, detail])
+        )
+
+    alert_rows: list[tuple[str, list[str]]] = []
+    for a in alerts:
+        values = ", ".join(f"{k}={v:.3f}" for k, v in a.get("values", {}).items())
+        alert_rows.append(
+            (
+                "alert-page" if a["severity"] == "page" else "flagged",
+                [
+                    escape(a["rule"]),
+                    escape(a["severity"]),
+                    escape(a["workload"] or "*"),
+                    escape(a["site"]) if a.get("site") else "&mdash;",
+                    escape(a["expr"]) + f" <span class='note'>[{escape(values)}]</span>",
+                ],
+            )
+        )
+
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>fleet dashboard</title><style>{_STYLE}</style></head><body>",
+        "<h1>Critical-lock fleet dashboard</h1>",
+        f"<p>{summary.get('traces', 0)} trace(s) &middot; "
+        f"{summary.get('workloads', 0)} workload(s) &middot; "
+        f"{summary.get('clusters', 0)} lock cluster(s) &middot; "
+        f"state v{summary.get('version', 0)} &middot; "
+        "<span id='live'>connecting&hellip;</span></p>",
+        "<div id='content'>",
+        "<h2>Recurring critical-lock clusters</h2>",
+        _table(
+            ["Workload", "Lock site", "FP", "Runs", "CP% mean", "CP% latest",
+             "Cont. max", "Trend"],
+            cluster_rows,
+        )
+        if cluster_rows
+        else "<p class='note'>no observations yet — upload or stream a trace</p>",
+        "<h2>Ranking regressions</h2>",
+        _table(["Workload", "Kind", "Lock site", "Detail"], regression_rows)
+        if regression_rows
+        else "<p class='note'>no regressions flagged</p>",
+        f"<h2>Alerts ({nrules} rule(s) loaded)</h2>",
+        _table(["Rule", "Severity", "Workload", "Lock site", "Condition"], alert_rows)
+        if alert_rows
+        else "<p class='note'>no alerts firing</p>",
+        "</div>",
+        """<script>
+const live = document.getElementById('live');
+const es = new EventSource('/fleet/events');
+es.onopen = () => { live.textContent = 'live (SSE connected)'; };
+es.onerror = () => { live.textContent = 'SSE disconnected — reload to resume'; };
+es.addEventListener('fleet', (ev) => {
+  const state = JSON.parse(ev.data);
+  live.textContent = 'live — state v' + state.version + ', ' +
+    state.summary.traces + ' trace(s), ' + state.alerts + ' alert(s)';
+  // Full re-render keeps the page honest without a JS framework.
+  fetch('/dashboard').then(r => r.text()).then(html => {
+    const doc = new DOMParser().parseFromString(html, 'text/html');
+    const next = doc.getElementById('content');
+    if (next) document.getElementById('content').replaceWith(next);
+  });
+});
+</script>""",
+        "</body></html>",
+    ]
+    return "".join(parts)

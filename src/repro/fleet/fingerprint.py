@@ -1,0 +1,80 @@
+"""Stable lock identity across traces, runs and uploads.
+
+A lock's per-run display name is noisy: auto-generated names embed the
+object id (``mutex#42``), per-instance names embed pool or shard
+indices (``tq[3].qlock``), and a re-run with a different seed shuffles
+both.  Fleet aggregation needs the opposite — one identity per *site*
+(the place in the workload that allocates the lock) that every run of
+the workload maps to, so thousands of stored traces can be clustered
+and compared.
+
+:func:`canonical_site` collapses exactly the run-varying parts of a
+display name; :func:`fingerprint_lock` hashes ``(workload, site)`` into
+a short stable id.  Deterministic per-run indices that *are* the
+identity (``L1`` vs ``L2`` in the paper's micro-benchmark) survive
+untouched: only bracketed indices and ``#<objid>`` suffixes are
+canonicalized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["LockFingerprint", "canonical_site", "fingerprint_lock", "workload_of"]
+
+#: ``tq[3].qlock`` -> ``tq[*].qlock`` (pool/shard instance index).
+_BRACKET_INDEX = re.compile(r"\[\d+\]")
+#: ``mutex#42`` -> ``mutex#*`` (auto-generated display names embed the
+#: run-local object id, which no two runs agree on).
+_OBJ_ID_SUFFIX = re.compile(r"#\d+$")
+
+
+def canonical_site(name: str) -> str:
+    """Collapse the run-varying parts of a lock display name."""
+    site = _BRACKET_INDEX.sub("[*]", name)
+    site = _OBJ_ID_SUFFIX.sub("#*", site)
+    return site
+
+
+@dataclass(frozen=True)
+class LockFingerprint:
+    """One lock site's fleet-wide identity."""
+
+    fingerprint: str
+    workload: str
+    site: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "workload": self.workload,
+            "site": self.site,
+        }
+
+
+def fingerprint_lock(workload: str, name: str) -> LockFingerprint:
+    """Fingerprint one lock: stable across tids, seeds and object ids."""
+    site = canonical_site(name)
+    digest = hashlib.sha256(
+        f"{workload}\x00{site}".encode("utf-8")
+    ).hexdigest()[:16]
+    return LockFingerprint(fingerprint=digest, workload=workload, site=site)
+
+
+def workload_of(meta: dict[str, Any] | None, fallback: str = "") -> str:
+    """Workload tag for a trace: recorded metadata, else the stored name.
+
+    Workload runs record ``meta["workload"]``; hand-built and imported
+    traces usually carry ``meta["name"]``.  The last resort is whatever
+    name the store indexed the trace under — still stable across
+    re-uploads of the same workload.
+    """
+    meta = meta or {}
+    for key in ("workload", "name"):
+        value = meta.get(key)
+        if isinstance(value, str) and value:
+            return value
+    return fallback or "unknown"

@@ -1,0 +1,359 @@
+"""Prometheus-style alert rules over fleet state.
+
+Rules live in a TOML spec (``tomllib``, stdlib on Python >= 3.11)::
+
+    [[rule]]
+    name = "hot-lock"
+    expr = "cp_fraction > 0.35 and runs >= 2"
+    severity = "page"
+    description = "one lock owns over a third of the critical path"
+
+    [[rule]]
+    name = "ranking-shift"
+    expr = "topk_churn >= 0.25"
+    workload = "radiosity"        # optional: restrict to one workload
+
+An ``expr`` is one or more clauses joined by ``and``; each clause is
+``<metric> <op> <number>`` with ops ``> >= < <= == !=``.  Metrics come
+in two scopes and a rule must stay inside one of them:
+
+* cluster scope (one row per recurring lock cluster):
+  ``cp_fraction`` (latest), ``cp_fraction_mean``, ``cp_fraction_delta``
+  (latest minus baseline mean, 0 until flagged), ``cont_prob``, ``runs``.
+* workload scope (one row per workload series): ``topk_churn``,
+  ``regressions`` (flag count), ``runs``.
+
+:func:`lint_rules` validates specs without any fleet state — unknown
+fields, unknown metrics, duplicate rule names, malformed or
+unsatisfiable expressions — and is wired into CI over the example
+specs in ``docs/examples/``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import RuleError
+
+__all__ = [
+    "AlertRule",
+    "Clause",
+    "load_rules",
+    "parse_rules",
+    "lint_rules",
+    "evaluate_rules",
+    "render_alerts",
+]
+
+#: metric -> (low, high) value range, used for unsatisfiability lint.
+_CLUSTER_METRICS: dict[str, tuple[float, float]] = {
+    "cp_fraction": (0.0, 1.0),
+    "cp_fraction_mean": (0.0, 1.0),
+    "cp_fraction_delta": (-1.0, 1.0),
+    "cont_prob": (0.0, 1.0),
+    "runs": (0.0, float("inf")),
+}
+_WORKLOAD_METRICS: dict[str, tuple[float, float]] = {
+    "topk_churn": (0.0, 1.0),
+    "regressions": (0.0, float("inf")),
+    "runs": (0.0, float("inf")),
+}
+#: Metrics valid in either scope (do not force a scope by themselves).
+_SHARED_METRICS = frozenset(_CLUSTER_METRICS) & frozenset(_WORKLOAD_METRICS)
+
+_ALLOWED_FIELDS = frozenset(
+    {"name", "expr", "severity", "workload", "description", "labels"}
+)
+_SEVERITIES = ("info", "warn", "page")
+
+_CLAUSE_RE = re.compile(
+    r"^\s*(?P<metric>[a-z][a-z0-9_]*)\s*"
+    r"(?P<op>>=|<=|==|!=|>|<)\s*"
+    r"(?P<value>[-+]?(?:\d+\.?\d*|\.\d+))\s*$"
+)
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One ``metric op value`` comparison."""
+
+    metric: str
+    op: str
+    value: float
+
+    def holds(self, row: dict[str, Any]) -> bool:
+        return _OPS[self.op](float(row.get(self.metric, 0.0)), self.value)
+
+    def __str__(self) -> str:
+        return f"{self.metric} {self.op} {self.value:g}"
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One named alert condition over fleet metrics."""
+
+    name: str
+    clauses: tuple[Clause, ...]
+    scope: str  # "cluster" | "workload"
+    severity: str = "warn"
+    workload: str | None = None
+    description: str = ""
+    labels: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def expr(self) -> str:
+        return " and ".join(str(c) for c in self.clauses)
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        if self.workload and row.get("workload") != self.workload:
+            return False
+        return all(c.holds(row) for c in self.clauses)
+
+
+def _parse_expr(expr: str) -> tuple[Clause, ...]:
+    if not expr.strip():
+        raise RuleError("empty expr")
+    clauses = []
+    for part in expr.split(" and "):
+        m = _CLAUSE_RE.match(part)
+        if m is None:
+            raise RuleError(
+                f"bad clause {part.strip()!r}: expected '<metric> <op> <number>'"
+            )
+        clauses.append(
+            Clause(metric=m["metric"], op=m["op"], value=float(m["value"]))
+        )
+    return tuple(clauses)
+
+
+def _scope_of(clauses: tuple[Clause, ...]) -> str:
+    metrics = {c.metric for c in clauses}
+    unknown = metrics - set(_CLUSTER_METRICS) - set(_WORKLOAD_METRICS)
+    if unknown:
+        known = ", ".join(sorted(set(_CLUSTER_METRICS) | set(_WORKLOAD_METRICS)))
+        raise RuleError(
+            f"unknown metric(s) {', '.join(sorted(unknown))}; known: {known}"
+        )
+    cluster_only = metrics - set(_WORKLOAD_METRICS)
+    workload_only = metrics - set(_CLUSTER_METRICS)
+    if cluster_only and workload_only:
+        raise RuleError(
+            f"expr mixes cluster-scope ({', '.join(sorted(cluster_only))}) and "
+            f"workload-scope ({', '.join(sorted(workload_only))}) metrics"
+        )
+    return "workload" if workload_only else "cluster"
+
+
+def _check_satisfiable(clauses: tuple[Clause, ...], scope: str) -> None:
+    ranges = _CLUSTER_METRICS if scope == "cluster" else _WORKLOAD_METRICS
+    # Single comparisons against the metric's own range get the clearest
+    # message, so check them before the interval intersection.
+    for c in clauses:
+        mlo, mhi = ranges[c.metric]
+        if c.op == "==" and not (mlo <= c.value <= mhi):
+            raise RuleError(
+                f"'{c}' can never hold: {c.metric} stays in [{mlo:g}, {mhi:g}]"
+            )
+        if (c.op == ">" and c.value >= mhi) or (c.op == ">=" and c.value > mhi):
+            raise RuleError(
+                f"'{c}' can never hold: {c.metric} never exceeds {mhi:g}"
+            )
+        if (c.op == "<" and c.value <= mlo) or (c.op == "<=" and c.value < mlo):
+            raise RuleError(
+                f"'{c}' can never hold: {c.metric} never drops below {mlo:g}"
+            )
+    # Intersect each metric's clauses into one interval; empty = unsatisfiable.
+    bounds: dict[str, tuple[float, float]] = {}
+    for c in clauses:
+        lo, hi = bounds.get(c.metric, ranges[c.metric])
+        if c.op in (">", ">="):
+            lo = max(lo, c.value)
+        elif c.op in ("<", "<="):
+            hi = min(hi, c.value)
+        elif c.op == "==":
+            lo, hi = max(lo, c.value), min(hi, c.value)
+        bounds[c.metric] = (lo, hi)
+    for metric, (lo, hi) in bounds.items():
+        if lo > hi or (lo == hi and not _has_closed_bound(clauses, metric, lo)):
+            raise RuleError(
+                f"clauses on {metric!r} are unsatisfiable "
+                f"(require the empty interval [{lo:g}, {hi:g}])"
+            )
+
+
+def _has_closed_bound(clauses: tuple[Clause, ...], metric: str, value: float) -> bool:
+    """Whether ``metric == value`` is reachable given only closed ops at value."""
+    for c in clauses:
+        if c.metric == metric and c.value == value and c.op in (">", "<"):
+            return False
+    return True
+
+
+def _parse_rule(blob: dict[str, Any], index: int) -> AlertRule:
+    if not isinstance(blob, dict):
+        raise RuleError(f"rule #{index + 1} is not a table")
+    unknown = set(blob) - _ALLOWED_FIELDS
+    if unknown:
+        raise RuleError(
+            f"rule #{index + 1}: unknown field(s) {', '.join(sorted(unknown))}; "
+            f"allowed: {', '.join(sorted(_ALLOWED_FIELDS))}"
+        )
+    name = blob.get("name")
+    if not isinstance(name, str) or not name:
+        raise RuleError(f"rule #{index + 1} needs a non-empty string 'name'")
+    expr = blob.get("expr")
+    if not isinstance(expr, str):
+        raise RuleError(f"rule {name!r} needs a string 'expr'")
+    severity = blob.get("severity", "warn")
+    if severity not in _SEVERITIES:
+        raise RuleError(
+            f"rule {name!r}: severity {severity!r} is not one of "
+            f"{', '.join(_SEVERITIES)}"
+        )
+    labels = blob.get("labels", {})
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        raise RuleError(f"rule {name!r}: 'labels' must be a table of strings")
+    try:
+        clauses = _parse_expr(expr)
+        scope = _scope_of(clauses)
+        _check_satisfiable(clauses, scope)
+    except RuleError as exc:
+        raise RuleError(f"rule {name!r}: {exc}") from None
+    return AlertRule(
+        name=name,
+        clauses=clauses,
+        scope=scope,
+        severity=str(severity),
+        workload=blob.get("workload") or None,
+        description=str(blob.get("description", "")),
+        labels=dict(labels),
+    )
+
+
+def parse_rules(text: str) -> list[AlertRule]:
+    """Parse and lint a TOML rule spec from a string."""
+    try:
+        import tomllib
+    except ImportError as exc:  # Python 3.10: no stdlib TOML parser
+        raise RuleError(
+            "alert rules need the stdlib 'tomllib' (Python >= 3.11)"
+        ) from exc
+    try:
+        doc = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise RuleError(f"not valid TOML: {exc}") from None
+    unknown_top = set(doc) - {"rule"}
+    if unknown_top:
+        raise RuleError(
+            f"unknown top-level table(s) {', '.join(sorted(unknown_top))}; "
+            "rules go in [[rule]] entries"
+        )
+    entries = doc.get("rule", [])
+    if not isinstance(entries, list) or not entries:
+        raise RuleError("spec defines no [[rule]] entries")
+    rules = [_parse_rule(blob, i) for i, blob in enumerate(entries)]
+    seen: dict[str, int] = {}
+    for i, rule in enumerate(rules):
+        if rule.name in seen:
+            raise RuleError(
+                f"duplicate rule name {rule.name!r} "
+                f"(rules #{seen[rule.name] + 1} and #{i + 1})"
+            )
+        seen[rule.name] = i
+    return rules
+
+
+def load_rules(path: str | Path) -> list[AlertRule]:
+    """Load and lint a TOML rule spec file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise RuleError(f"cannot read rule spec {path}: {exc}") from None
+    try:
+        return parse_rules(text)
+    except RuleError as exc:
+        raise RuleError(f"{path}: {exc}") from None
+
+
+def lint_rules(paths: list[str | Path]) -> list[str]:
+    """Lint rule spec files; returns problems (empty = all clean)."""
+    problems = []
+    for path in paths:
+        try:
+            load_rules(path)
+        except RuleError as exc:
+            problems.append(str(exc))
+    return problems
+
+
+def evaluate_rules(rules: list[AlertRule], aggregator) -> list[dict[str, Any]]:
+    """Evaluate rules against a :class:`~repro.fleet.aggregate.FleetAggregator`.
+
+    Returns one alert dict per (rule, matching row).
+    """
+    alerts: list[dict[str, Any]] = []
+    cluster_rows = None
+    workload_rows = None
+    for rule in rules:
+        if rule.scope == "cluster":
+            if cluster_rows is None:
+                cluster_rows = aggregator.cluster_metrics()
+            rows = cluster_rows
+        else:
+            if workload_rows is None:
+                workload_rows = aggregator.workload_metrics()
+            rows = workload_rows
+        for row in rows:
+            if not rule.matches(row):
+                continue
+            alert: dict[str, Any] = {
+                "rule": rule.name,
+                "severity": rule.severity,
+                "scope": rule.scope,
+                "expr": rule.expr,
+                "workload": row.get("workload", ""),
+                "values": {c.metric: row.get(c.metric, 0.0) for c in rule.clauses},
+            }
+            if rule.scope == "cluster":
+                alert["site"] = row.get("site", "")
+                alert["fingerprint"] = row.get("fingerprint", "")
+            if rule.description:
+                alert["description"] = rule.description
+            if rule.labels:
+                alert["labels"] = dict(rule.labels)
+            alerts.append(alert)
+    severity_rank = {s: i for i, s in enumerate(_SEVERITIES)}
+    alerts.sort(
+        key=lambda a: (-severity_rank.get(a["severity"], 0), a["rule"], a["workload"])
+    )
+    return alerts
+
+
+def render_alerts(alerts: list[dict[str, Any]], nrules: int) -> str:
+    """Text rendering of fired alerts."""
+    head = f"alert rules: {nrules} rule(s) evaluated, {len(alerts)} firing"
+    if not alerts:
+        return head
+    lines = [head]
+    for a in alerts:
+        target = a["workload"] + (f" / {a['site']}" if a.get("site") else "")
+        values = ", ".join(f"{k}={v:.3f}" for k, v in a["values"].items())
+        lines.append(
+            f"  [{a['severity']:<4}] {a['rule']}: {target} ({a['expr']}; {values})"
+        )
+    return "\n".join(lines)

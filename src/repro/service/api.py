@@ -29,6 +29,14 @@ Streaming ingestion (chunked append, :mod:`repro.service.stream`)::
                                        (409 gap, 429 backpressure)
     POST /traces/<session>/finalize   {"header","analyze","name","params"}
                                        -> 200 stored trace (+report/reconciliation)
+
+Fleet observability (:mod:`repro.fleet`; every store write feeds the
+aggregator incrementally, and ``/dashboard`` + ``/fleet/events`` are
+served by the HTTP layer on top of these)::
+
+    GET  /fleet/summary      ?top=N          -> cluster summary
+    GET  /fleet/regressions  ?topk=&noise_floor=&sigma= -> ranking shifts
+    GET  /fleet/alerts                       -> alert rules evaluated now
 """
 
 from __future__ import annotations
@@ -38,6 +46,10 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ServiceError
+from repro.fleet.aggregate import FleetAggregator
+from repro.fleet.dashboard import render_dashboard
+from repro.fleet.ingest import FleetIngestor, ingest_store
+from repro.fleet.rules import evaluate_rules, load_rules
 from repro.service.cache import ResultCache
 from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobSpec, JobStore, execute
 from repro.service.metrics import ServiceMetrics
@@ -58,6 +70,7 @@ class ServiceAPI:
         cache_capacity: int = 256,
         start_method: str = DEFAULT_START_METHOD,
         max_pending_chunks: int = 64,
+        rules_path: str | Path | None = None,
     ):
         self.data_dir = Path(data_dir)
         self.store = TraceStore(self.data_dir / "traces")
@@ -69,6 +82,9 @@ class ServiceAPI:
         )
         self.jobs = JobStore()
         self.metrics = ServiceMetrics()
+        self.fleet = FleetAggregator(self.data_dir / "fleet")
+        self.fleet_rules = load_rules(rules_path) if rules_path else []
+        self.fleet_ingestor = FleetIngestor(self.fleet, metrics=self.metrics)
         self._cache_keys: dict[str, str] = {}  # job id -> cache key
         self._lock = threading.Lock()
         self._done = threading.Condition(self._lock)
@@ -77,6 +93,7 @@ class ServiceAPI:
         )
 
     def close(self) -> None:
+        self.fleet_ingestor.close()
         self.streams.close()
         self.pool.close()
 
@@ -108,6 +125,7 @@ class ServiceAPI:
         match (method, parts):
             case ("POST", ["traces"]):
                 entry = self.store.put_bytes(body, name=query.get("name"))
+                self.fleet_ingestor.enqueue(entry)
                 return 201, entry.to_dict()
             case ("GET", ["traces"]):
                 return 200, {"traces": [e.to_dict() for e in self.store.list()]}
@@ -157,6 +175,31 @@ class ServiceAPI:
                 return 200, self.jobs.get(job_id).to_dict()
             case ("GET", ["reports", job_id]):
                 return self._get_report(job_id)
+            case ("GET", ["fleet", "summary"]):
+                top = query.get("top")
+                return 200, self.fleet.summary(
+                    top=int(top) if top is not None else 20
+                )
+            case ("GET", ["fleet", "regressions"]):
+                kwargs: dict[str, Any] = {}
+                if query.get("topk") is not None:
+                    kwargs["topk"] = int(query["topk"])
+                if query.get("noise_floor") is not None:
+                    kwargs["noise_floor"] = float(query["noise_floor"])
+                if query.get("sigma") is not None:
+                    kwargs["sigma"] = float(query["sigma"])
+                return 200, self.fleet.regressions(**kwargs)
+            case ("GET", ["fleet", "alerts"]):
+                return 200, {
+                    "rules": len(self.fleet_rules),
+                    "alerts": evaluate_rules(self.fleet_rules, self.fleet),
+                }
+            case ("POST", ["fleet", "ingest"]):
+                # Catch-up over traces stored before fleet observability
+                # (or under a different service instance).
+                return 200, ingest_store(
+                    self.fleet, self.store, metrics=self.metrics
+                )
             case ("GET", ["metrics"]):
                 return 200, self.snapshot_metrics()
             case ("GET", ["healthz"]):
@@ -213,6 +256,7 @@ class ServiceAPI:
             trace, name=req.get("name") or session.name or None
         )
         session.digest = entry.digest
+        self.fleet_ingestor.enqueue(entry)
         self.metrics.count_stream_finalized()
         out: dict[str, Any] = {
             "trace": entry.to_dict(),
@@ -244,22 +288,29 @@ class ServiceAPI:
         if not isinstance(params, dict):
             raise ServiceError("'params' must be an object")
 
+        # Fleet kinds answer from mutable persisted state: resolve the
+        # state dir for the worker and never cache the result.
+        fleet_kind = kind in ("fleet_summary", "fleet_regressions")
+        if fleet_kind:
+            params = {**params}
+            params.setdefault("state_dir", str(self.data_dir / "fleet"))
+
         spec = JobSpec(kind=kind, digests=tuple(digests), params=params)
         paths = self.store.resolve(spec.digests)  # 404s before queuing
         job = self.jobs.create(spec)
         self.metrics.count_submitted(kind)
 
-        key = spec.cache_key()
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.jobs.mark_done(job.id, cached, cached=True)
-            self.metrics.count_cached(kind)
-            with self._done:
-                self._done.notify_all()
-            return self.jobs.get(job.id).to_dict()
-
-        with self._lock:
-            self._cache_keys[job.id] = key
+        if not fleet_kind:
+            key = spec.cache_key()
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.jobs.mark_done(job.id, cached, cached=True)
+                self.metrics.count_cached(kind)
+                with self._done:
+                    self._done.notify_all()
+                return self.jobs.get(job.id).to_dict()
+            with self._lock:
+                self._cache_keys[job.id] = key
         self.pool.submit(job.id, spec.kind, paths, spec.params)
         return self.jobs.get(job.id).to_dict()
 
@@ -293,6 +344,48 @@ class ServiceAPI:
         return 200, {"id": job.id, "kind": job.spec.kind, "cached": job.cached,
                      "result": job.result}
 
+    # -- fleet observability ---------------------------------------------------
+
+    def flush_fleet(self, timeout: float = 30.0) -> bool:
+        """Wait for pending fleet ingestion (tests, graceful drains)."""
+        return self.fleet_ingestor.flush(timeout=timeout)
+
+    def fleet_alerts(self) -> list[dict[str, Any]]:
+        return evaluate_rules(self.fleet_rules, self.fleet)
+
+    def dashboard_html(self) -> str:
+        """The live dashboard page (served as GET /dashboard)."""
+        return render_dashboard(
+            self.fleet.summary(),
+            self.fleet.regressions(),
+            self.fleet_alerts(),
+            nrules=len(self.fleet_rules),
+        )
+
+    def fleet_event_payload(self) -> dict[str, Any]:
+        """One SSE event: compact state for dashboard live updates."""
+        summary = self.fleet.summary(top=10)
+        regressions = self.fleet.regressions()
+        return {
+            "type": "fleet",
+            "version": summary["version"],
+            "summary": {
+                "traces": summary["traces"],
+                "workloads": summary["workloads"],
+                "clusters": summary["clusters"],
+                "top": [
+                    {
+                        "workload": c["workload"],
+                        "site": c["site"],
+                        "cp_latest": c["cp_latest"],
+                    }
+                    for c in summary["top"][:5]
+                ],
+            },
+            "regressions": len(regressions["flags"]),
+            "alerts": len(self.fleet_alerts()),
+        }
+
     def snapshot_metrics(self) -> dict[str, Any]:
         out = self.metrics.to_dict()
         out["queue"] = {
@@ -305,6 +398,7 @@ class ServiceAPI:
         out["cache"] = self.cache.stats()
         out["traces"] = self.store.stats()
         out["streams"].update(self.streams.stats())
+        out["fleet"].update(self.fleet.stats())
         return out
 
     # -- pool event sink (collector thread) ------------------------------------

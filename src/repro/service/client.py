@@ -239,6 +239,69 @@ class ServiceClient:
     def forecast(self, digest: str, **params) -> dict[str, Any]:
         return self.wait(self.submit("forecast", digest, params))
 
+    # -- fleet observability -------------------------------------------------
+
+    def fleet_summary(self, top: int | None = None) -> dict[str, Any]:
+        """Cross-trace cluster summary (see ``repro.fleet``)."""
+        suffix = f"?top={top}" if top is not None else ""
+        return self._get(f"/fleet/summary{suffix}")
+
+    def fleet_regressions(
+        self,
+        topk: int | None = None,
+        noise_floor: float | None = None,
+        sigma: float | None = None,
+    ) -> dict[str, Any]:
+        """Ranking-regression flags per workload series."""
+        query = []
+        if topk is not None:
+            query.append(f"topk={topk}")
+        if noise_floor is not None:
+            query.append(f"noise_floor={noise_floor}")
+        if sigma is not None:
+            query.append(f"sigma={sigma}")
+        suffix = f"?{'&'.join(query)}" if query else ""
+        return self._get(f"/fleet/regressions{suffix}")
+
+    def fleet_alerts(self) -> dict[str, Any]:
+        """Evaluate the service's loaded alert rules right now."""
+        return self._get("/fleet/alerts")
+
+    def fleet_ingest(self) -> dict[str, Any]:
+        """Catch fleet state up with every already-stored trace."""
+        return self._request("POST", "/fleet/ingest", b"")
+
+    def dashboard_html(self) -> str:
+        """The live dashboard page as HTML text."""
+        req = urllib.request.Request(f"{self.base_url}/dashboard")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    def fleet_events(
+        self, max_events: int = 1, timeout: float = 30.0
+    ) -> list[dict[str, Any]]:
+        """Read fleet events from the ``/fleet/events`` SSE stream.
+
+        Blocks until ``max_events`` events arrived (the first one — the
+        current state — is sent immediately on connect), then closes the
+        stream.  ``timeout`` bounds each socket read, and keepalive
+        comments reset it, so a healthy but idle stream does not raise.
+        """
+        req = urllib.request.Request(f"{self.base_url}/fleet/events")
+        events: list[dict[str, Any]] = []
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            data_lines: list[str] = []
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].lstrip())
+                elif not line and data_lines:  # blank line = event boundary
+                    events.append(json.loads("\n".join(data_lines)))
+                    data_lines = []
+                    if len(events) >= max_events:
+                        break
+        return events
+
     # -- operational --------------------------------------------------------
 
     def metrics(self) -> dict[str, Any]:

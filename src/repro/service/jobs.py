@@ -26,13 +26,14 @@ __all__ = ["JOB_KINDS", "JobSpec", "Job", "JobStore", "execute"]
 #: letting the pool fan a large fuzzing campaign out across workers).
 JOB_KINDS = (
     "analyze", "sampled_analyze", "whatif", "whatif_protocol", "compare",
-    "forecast", "check", "selftest",
+    "forecast", "check", "fleet_summary", "fleet_regressions", "selftest",
 )
 
 #: How many traces each kind consumes.
 _ARITY = {
     "analyze": 1, "sampled_analyze": 1, "whatif": 1, "whatif_protocol": 1,
-    "compare": 2, "forecast": 1, "check": 0, "selftest": 0,
+    "compare": 2, "forecast": 1, "check": 0, "fleet_summary": 0,
+    "fleet_regressions": 0, "selftest": 0,
 }
 
 # Job lifecycle states.
@@ -358,6 +359,29 @@ def _exec_check(paths: list[str], params: dict) -> dict:
     }
 
 
+def _exec_fleet_summary(paths: list[str], params: dict) -> dict:
+    # Fleet state persists as JSON under the service data dir, so a
+    # worker process answers from the same state the API process writes.
+    from repro.fleet.aggregate import FleetAggregator
+
+    agg = FleetAggregator(params["state_dir"])
+    return agg.summary(top=int(params.get("top", 20)))
+
+
+def _exec_fleet_regressions(paths: list[str], params: dict) -> dict:
+    from repro.fleet.aggregate import FleetAggregator
+
+    agg = FleetAggregator(params["state_dir"])
+    kwargs: dict = {}
+    if params.get("topk") is not None:
+        kwargs["topk"] = int(params["topk"])
+    if params.get("noise_floor") is not None:
+        kwargs["noise_floor"] = float(params["noise_floor"])
+    if params.get("sigma") is not None:
+        kwargs["sigma"] = float(params["sigma"])
+    return agg.regressions(**kwargs)
+
+
 def _exec_selftest(paths: list[str], params: dict) -> dict:
     # Internal diagnostics kind: lets tests and health checks exercise the
     # pool without trace I/O.  ``crash`` hard-kills the worker process to
@@ -381,6 +405,8 @@ _EXECUTORS: dict[str, Callable[[list[str], dict], dict]] = {
     "compare": _exec_compare,
     "forecast": _exec_forecast,
     "check": _exec_check,
+    "fleet_summary": _exec_fleet_summary,
+    "fleet_regressions": _exec_fleet_regressions,
     "selftest": _exec_selftest,
 }
 

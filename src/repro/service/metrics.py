@@ -88,6 +88,13 @@ class ServiceMetrics:
         self.stream_bytes = 0
         self.stream_backpressure = 0  # 429 rejections
         self.stream_gaps = 0  # out-of-sequence 409 rejections
+        # Fleet aggregation (repro.fleet): the aggregator observes itself.
+        self.fleet_observed = 0
+        self.fleet_duplicates = 0
+        self.fleet_errors = 0
+        self.fleet_sse_clients = 0
+        self.fleet_sse_events = 0
+        self._fleet_ingest = LatencyHistogram()
 
     def count_request(self) -> None:
         with self._lock:
@@ -137,6 +144,27 @@ class ServiceMetrics:
         with self._lock:
             self.stream_gaps += 1
 
+    # -- fleet aggregation ----------------------------------------------------
+
+    def count_fleet(
+        self,
+        observed: int = 0,
+        duplicates: int = 0,
+        errors: int = 0,
+        seconds: float | None = None,
+    ) -> None:
+        with self._lock:
+            self.fleet_observed += observed
+            self.fleet_duplicates += duplicates
+            self.fleet_errors += errors
+            if seconds is not None:
+                self._fleet_ingest.observe(seconds)
+
+    def count_fleet_sse(self, clients: int = 0, events: int = 0) -> None:
+        with self._lock:
+            self.fleet_sse_clients += clients
+            self.fleet_sse_events += events
+
     def to_dict(self) -> dict[str, Any]:
         with self._lock:
             return {
@@ -157,6 +185,14 @@ class ServiceMetrics:
                     "bytes": self.stream_bytes,
                     "backpressure_429": self.stream_backpressure,
                     "sequence_gaps": self.stream_gaps,
+                },
+                "fleet": {
+                    "observed": self.fleet_observed,
+                    "duplicates": self.fleet_duplicates,
+                    "errors": self.fleet_errors,
+                    "sse_clients": self.fleet_sse_clients,
+                    "sse_events": self.fleet_sse_events,
+                    "ingest_latency": self._fleet_ingest.to_dict(),
                 },
                 "latency": {k: h.to_dict() for k, h in self._latency.items()},
             }

@@ -5,6 +5,12 @@ pool entirely: handler threads only parse/serialize JSON and touch
 thread-safe service state, while the CPU-heavy analysis runs in worker
 *processes*.  One service instance therefore overlaps network I/O,
 bookkeeping and N analyses at once.
+
+Two routes bypass the JSON bridge: ``GET /dashboard`` returns the live
+HTML fleet dashboard, and ``GET /fleet/events`` holds the connection
+open as a Server-Sent-Events stream — an immediate snapshot event,
+then one event per fleet-state change, with comment keepalives in
+between.
 """
 
 from __future__ import annotations
@@ -24,6 +30,9 @@ log = logging.getLogger("repro.service")
 
 #: Uploads beyond this are rejected before buffering (64 MiB of trace).
 MAX_BODY_BYTES = 64 << 20
+
+#: Seconds between SSE comment keepalives while fleet state is idle.
+SSE_KEEPALIVE = 15.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -65,9 +74,57 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(blob)
 
+    # -- fleet dashboard (non-JSON routes) ----------------------------------
+
+    def _serve_dashboard(self) -> None:
+        blob = self.api.dashboard_html().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _serve_fleet_events(self) -> None:
+        """Server-Sent-Events stream of fleet-state changes.
+
+        The response has no length and stays open, so the connection is
+        marked close-on-done; the loop ends when the client disconnects
+        (write fails) or the server shuts down beneath us.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        api = self.api
+        api.metrics.count_fleet_sse(clients=1)
+        last = -1  # version -1: the first wait returns the current state
+        try:
+            while True:
+                version = api.fleet.wait_version(last, timeout=SSE_KEEPALIVE)
+                if version <= last:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                last = version
+                blob = json.dumps(api.fleet_event_payload())
+                self.wfile.write(f"event: fleet\ndata: {blob}\n\n".encode("utf-8"))
+                self.wfile.flush()
+                api.metrics.count_fleet_sse(events=1)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away — the stream has no other exit
+
     # -- verbs --------------------------------------------------------------
 
     def do_GET(self) -> None:
+        path = urlsplit(self.path).path
+        if path == "/dashboard":
+            self._serve_dashboard()
+            return
+        if path == "/fleet/events":
+            self._serve_fleet_events()
+            return
         self._dispatch("GET")
 
     def do_POST(self) -> None:
@@ -108,6 +165,7 @@ def serve(
     workers: int = 2,
     cache_capacity: int = 256,
     start_method: str = DEFAULT_START_METHOD,
+    rules_path: str | Path | None = None,
 ) -> int:
     """Run the analysis service until interrupted (CLI entry point)."""
     api = ServiceAPI(
@@ -115,11 +173,14 @@ def serve(
         workers=workers,
         cache_capacity=cache_capacity,
         start_method=start_method,
+        rules_path=rules_path,
     )
     server = make_server(api, host, port)
     print(
         f"critical-lock-analysis service on {server.url} "
-        f"({workers} worker process(es), data in {Path(data_dir).resolve()})"
+        f"({workers} worker process(es), data in {Path(data_dir).resolve()}"
+        + (f", {len(api.fleet_rules)} alert rule(s)" if rules_path else "")
+        + f"); dashboard at {server.url}/dashboard"
     )
     try:
         server.serve_forever()

@@ -1,0 +1,50 @@
+"""Shared fleet-test helpers: synthetic reports and seeded aggregators."""
+
+from __future__ import annotations
+
+from repro.fleet import FleetAggregator
+
+
+def synth_report(
+    locks: dict[str, float],
+    name: str = "synthetic",
+    duration: float = 10.0,
+    nthreads: int = 4,
+) -> dict:
+    """A minimal ``analyze(...).report.to_dict()`` lookalike."""
+    return {
+        "name": name,
+        "nthreads": nthreads,
+        "duration": duration,
+        "locks": {
+            lock: {
+                "cp_time_frac": cp,
+                "cont_prob_on_cp": min(1.0, cp + 0.1),
+                "wait_time_frac": cp / 2,
+            }
+            for lock, cp in locks.items()
+        },
+    }
+
+
+def seeded_aggregator(
+    state_dir,
+    runs: int = 5,
+    jitter: float = 0.002,
+    locks: dict[str, float] | None = None,
+    workload: str = "micro",
+) -> FleetAggregator:
+    """Aggregator holding ``runs`` near-identical observations."""
+    locks = locks or {"L2": 0.8, "L1": 0.2}
+    agg = FleetAggregator(state_dir)
+    for i in range(runs):
+        jittered = {
+            name: cp + jitter * (i % 3 - 1) for name, cp in locks.items()
+        }
+        agg.observe(
+            synth_report(jittered, name=workload),
+            digest=f"run-{i}",
+            workload=workload,
+            ts=float(i),
+        )
+    return agg

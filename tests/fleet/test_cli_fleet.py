@@ -1,0 +1,110 @@
+"""The ``fleet`` CLI subcommand over a locally seeded service store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.conftest import make_micro_program
+
+from repro.cli import main
+from repro.service import ServiceAPI
+from repro.trace import write_trace
+
+RULES = (
+    "[[rule]]\n"
+    "name = 'hot'\n"
+    "expr = 'cp_fraction > 0.5'\n"
+    "severity = 'page'\n"
+)
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    """A service data dir with 3 baseline micro runs + 1 shifted run."""
+    api = ServiceAPI(tmp_path / "svc", workers=0)
+    try:
+        for i in range(3):
+            trace = make_micro_program(cs2=2.5 + 0.001 * i).run().trace
+            path = write_trace(trace, tmp_path / f"t{i}.clt")
+            api.handle("POST", "/traces", path.read_bytes(), {"name": "micro"})
+        trace = make_micro_program(cs1=6.0).run().trace
+        path = write_trace(trace, tmp_path / "shift.clt")
+        api.handle("POST", "/traces", path.read_bytes(), {"name": "micro"})
+        assert api.flush_fleet(timeout=60)
+    finally:
+        api.close()
+    return str(tmp_path / "svc")
+
+
+def test_fleet_summary(store_dir, capsys):
+    assert main(["fleet", "summary", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "4 trace(s)" in out and "L1" in out and "L2" in out
+
+
+def test_fleet_summary_json(store_dir, capsys):
+    assert main(["fleet", "summary", "--store", store_dir, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["traces"] == 4
+    assert {c["site"] for c in doc["top"]} == {"L1", "L2"}
+
+
+def test_fleet_summary_empty_store(tmp_path, capsys):
+    assert main(["fleet", "summary", "--store", str(tmp_path / "none")]) == 0
+    assert "no observations" in capsys.readouterr().out
+
+
+def test_fleet_regressions_flags_shift(store_dir, capsys):
+    assert main(["fleet", "regressions", "--store", store_dir]) == 1
+    out = capsys.readouterr().out
+    assert "[cp_shift]" in out and "[top1_change]" in out
+
+
+def test_fleet_regressions_respects_thresholds(store_dir, capsys):
+    # A huge noise floor silences cp_shift flags; the genuine ranking
+    # flip (top1_change) is threshold-free and still reported.
+    rc = main(
+        ["fleet", "regressions", "--store", store_dir,
+         "--noise-floor", "0.99", "--json"]
+    )
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert {f["kind"] for f in doc["flags"]} == {"top1_change"}
+
+
+def test_fleet_alerts(store_dir, tmp_path, capsys):
+    rules = tmp_path / "rules.toml"
+    rules.write_text(RULES)
+    rc = main(["fleet", "alerts", "--store", store_dir, "--rules", str(rules)])
+    assert rc == 1  # the shifted run pushes L1 past the threshold
+    out = capsys.readouterr().out
+    assert "hot" in out and "firing" in out
+
+
+def test_fleet_alerts_requires_rules(store_dir, capsys):
+    assert main(["fleet", "alerts", "--store", store_dir]) == 1
+    assert "needs --rules" in capsys.readouterr().err
+
+
+def test_fleet_lint_rules_ok(tmp_path, capsys):
+    spec = tmp_path / "rules.toml"
+    spec.write_text(RULES)
+    assert main(["fleet", "lint-rules", str(spec)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_fleet_lint_rules_rejects(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[[rule]]\nname = 'x'\nexpr = 'cp_fraction > 2'\n")
+    assert main(["fleet", "lint-rules", str(bad)]) == 1
+    assert "never exceeds" in capsys.readouterr().err
+
+
+def test_fleet_state_is_cached_between_invocations(store_dir, capsys):
+    # First call ingests; the second reuses persisted fleet state.
+    assert main(["fleet", "summary", "--store", store_dir]) == 0
+    assert main(["fleet", "summary", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert out.count("4 trace(s)") == 2

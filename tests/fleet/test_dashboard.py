@@ -1,0 +1,46 @@
+"""Dashboard rendering: self-contained HTML + SVG sparklines."""
+
+from __future__ import annotations
+
+from tests.fleet.fleethelpers import seeded_aggregator, synth_report
+
+from repro.fleet import (
+    evaluate_rules,
+    parse_rules,
+    render_dashboard,
+    render_sparkline,
+)
+
+
+def test_sparkline_svg():
+    svg = render_sparkline([0.1, 0.5, 0.9])
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "polyline" in svg and "circle" in svg
+    assert render_sparkline([]) == ""
+    assert "circle" in render_sparkline([0.4])  # single point still marks
+
+
+def test_dashboard_lists_clusters_and_flags(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=4)
+    agg.observe(
+        synth_report({"L2": 0.2, "L1": 0.8}), digest="shift", workload="micro"
+    )
+    rules = parse_rules(
+        "[[rule]]\nname = 'hot'\nexpr = 'cp_fraction > 0.5'\nseverity = 'page'\n"
+    )
+    summary, regressions = agg.summary(), agg.regressions()
+    alerts = evaluate_rules(rules, agg)
+    html = render_dashboard(summary, regressions, alerts, len(rules))
+    assert html.startswith("<!DOCTYPE html>")
+    assert "micro" in html and "L1" in html and "L2" in html
+    assert "cp_shift" in html  # regression table
+    assert "hot" in html and "alert-page" in html  # alert severity styling
+    assert "<svg" in html  # sparklines
+    assert "EventSource('/fleet/events')" in html  # live refresh hook
+
+
+def test_dashboard_renders_empty_state(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=0)
+    html = render_dashboard(agg.summary(), agg.regressions(), [], 0)
+    assert "no observations yet" in html
+    assert "EventSource" in html

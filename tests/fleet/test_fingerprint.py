@@ -1,0 +1,95 @@
+"""Fingerprint stability: identity survives run-to-run noise."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.fleet import canonical_site, fingerprint_lock, workload_of
+from repro.sim import Program
+
+
+@pytest.mark.parametrize(
+    ("name", "site"),
+    [
+        ("L1", "L1"),
+        ("tq[3].qlock", "tq[*].qlock"),
+        ("tq[3].qlock#12", "tq[*].qlock#*"),
+        ("pool[0][17].m", "pool[*][*].m"),
+        ("cache_lock#994", "cache_lock#*"),
+        ("ticket#7x", "ticket#7x"),  # '#N' only strips as a trailing object id
+        ("", ""),
+    ],
+)
+def test_canonical_site(name, site):
+    assert canonical_site(name) == site
+
+
+def test_fingerprint_folds_instance_noise():
+    a = fingerprint_lock("radiosity", "tq[0].qlock#101")
+    b = fingerprint_lock("radiosity", "tq[7].qlock#993")
+    assert a.fingerprint == b.fingerprint
+    assert a.site == "tq[*].qlock#*"
+
+
+def test_fingerprint_separates_workloads_and_sites():
+    base = fingerprint_lock("radiosity", "tq[0].qlock")
+    assert fingerprint_lock("ocean", "tq[0].qlock").fingerprint != base.fingerprint
+    assert fingerprint_lock("radiosity", "bsp.lock").fingerprint != base.fingerprint
+
+
+def test_fingerprint_is_stable_text():
+    fp = fingerprint_lock("w", "L")
+    assert len(fp.fingerprint) == 16
+    assert fp.to_dict() == {"fingerprint": fp.fingerprint, "workload": "w", "site": "L"}
+
+
+def test_workload_of_precedence():
+    assert workload_of({"workload": "rad", "name": "x"}, "f") == "rad"
+    assert workload_of({"name": "x"}, "f") == "x"
+    assert workload_of({}, "f") == "f"
+    assert workload_of({}, None) == "unknown"
+
+
+def _varying_program(seed: int) -> Program:
+    """Micro-style program whose lock *names* carry run-varying noise.
+
+    Thread spawn order, per-run object ids and array indexes all change
+    with the seed — exactly the noise a fleet fingerprint must survive.
+    """
+    rng = random.Random(seed)
+    prog = Program(name="vary", seed=seed)
+    hot = prog.mutex(f"tq[{rng.randrange(64)}].qlock#{rng.randrange(10_000)}")
+    cold = prog.mutex(f"stats_lock#{rng.randrange(10_000)}")
+
+    def worker(env, i):
+        yield env.acquire(hot)
+        yield env.compute(2.0 + 0.001 * ((seed + i) % 5))
+        yield env.release(hot)
+        yield env.acquire(cold)
+        yield env.compute(0.5)
+        yield env.release(cold)
+
+    order = list(range(4))
+    rng.shuffle(order)  # shuffled spawn order permutes tids across runs
+    for i in order:
+        prog.spawn(worker, i, name=f"T{i}")
+    return prog
+
+
+def test_fingerprints_stable_over_30_seed_sweep():
+    """Same workload re-traced 30 times -> the same fingerprint set."""
+    reference: set[str] = set()
+    for seed in range(30):
+        report = analyze(
+            _varying_program(seed).run().trace, validate=False
+        ).report.to_dict()
+        fps = {
+            fingerprint_lock("vary", name).fingerprint for name in report["locks"]
+        }
+        if not reference:
+            reference = fps
+        assert fps == reference, f"fingerprints drifted at seed {seed}"
+    assert len(reference) == 2

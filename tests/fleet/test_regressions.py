@@ -1,0 +1,117 @@
+"""Regression detection: calibrated noise bands, shifts, churn."""
+
+from __future__ import annotations
+
+from tests.fleet.fleethelpers import seeded_aggregator, synth_report
+
+from repro.fleet import FleetAggregator, render_regressions
+
+
+def test_no_false_positive_on_repeated_runs(tmp_path):
+    """Re-running the same workload (with jitter) never alarms."""
+    agg = seeded_aggregator(tmp_path / "fleet", runs=8, jitter=0.004)
+    out = agg.regressions()
+    assert out["flags"] == []
+    assert out["workloads"]["micro"]["checked"] is True
+    assert out["workloads"]["micro"]["topk_churn"] == 0.0
+
+
+def test_no_false_positive_on_identical_reuploads(tmp_path):
+    """Byte-identical runs have zero variance; the floor still guards."""
+    agg = seeded_aggregator(tmp_path / "fleet", runs=6, jitter=0.0)
+    assert agg.regressions()["flags"] == []
+
+
+def test_single_run_is_not_checked(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=1)
+    out = agg.regressions()
+    assert out["flags"] == []
+    assert out["workloads"]["micro"] == {"runs": 1, "checked": False}
+
+
+def test_injected_cp_shift_is_flagged(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=5)
+    agg.observe(
+        synth_report({"L2": 0.2, "L1": 0.8}),  # the ranking flipped
+        digest="shifted",
+        workload="micro",
+    )
+    out = agg.regressions()
+    kinds = sorted(f["kind"] for f in out["flags"])
+    assert kinds == ["cp_shift", "cp_shift", "top1_change"]
+    up = next(f for f in out["flags"] if f["kind"] == "cp_shift" and f["delta"] > 0)
+    assert up["site"] == "L1"
+    assert up["delta"] > up["band"]
+    top1 = next(f for f in out["flags"] if f["kind"] == "top1_change")
+    assert (top1["site"], top1["previous_site"]) == ("L1", "L2")
+
+
+def test_new_dominant_lock_is_flagged(tmp_path):
+    """A lock never seen in the baseline appearing hot is a cp_shift."""
+    agg = seeded_aggregator(tmp_path / "fleet", runs=4)
+    agg.observe(
+        synth_report({"L2": 0.3, "L1": 0.1, "NEW": 0.5}),
+        digest="newlock",
+        workload="micro",
+    )
+    flags = agg.regressions()["flags"]
+    assert any(f["kind"] == "cp_shift" and f["site"] == "NEW" for f in flags)
+
+
+def test_noise_band_widens_with_baseline_variance(tmp_path):
+    """A delta inside 3 sigma of a noisy baseline does not alarm."""
+    agg = FleetAggregator(tmp_path / "fleet")
+    values = [0.40, 0.60, 0.35, 0.65, 0.45, 0.55]  # sigma ~ 0.11
+    for i, cp in enumerate(values):
+        agg.observe(
+            synth_report({"L": cp, "M": 1.0 - cp}),
+            digest=f"d{i}",
+            workload="noisy",
+        )
+    out = agg.regressions()
+    assert [f for f in out["flags"] if f["kind"] == "cp_shift"] == []
+    # The same final delta alarms when the baseline is quiet.
+    quiet = FleetAggregator(tmp_path / "quiet")
+    for i in range(5):
+        quiet.observe(
+            synth_report({"L": 0.5, "M": 0.5}), digest=f"q{i}", workload="q"
+        )
+    quiet.observe(synth_report({"L": 0.65, "M": 0.35}), digest="last", workload="q")
+    assert any(f["kind"] == "cp_shift" for f in quiet.regressions()["flags"])
+
+
+def test_rank_churn_flag(tmp_path):
+    agg = FleetAggregator(tmp_path / "fleet", topk=4)
+    base = {"A": 0.4, "B": 0.3, "C": 0.2, "D": 0.1}
+    for i in range(3):
+        agg.observe(synth_report(base), digest=f"d{i}", workload="w")
+    agg.observe(
+        synth_report({"A": 0.4, "X": 0.3, "Y": 0.2, "Z": 0.1}),
+        digest="churned",
+        workload="w",
+    )
+    out = agg.regressions()
+    churn = next(f for f in out["flags"] if f["kind"] == "rank_churn")
+    assert churn["churn"] == 0.75
+    assert sorted(churn["entered"]) == ["X", "Y", "Z"]
+    assert sorted(churn["left"]) == ["B", "C", "D"]
+
+
+def test_parameters_override_defaults(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=4)
+    agg.observe(
+        synth_report({"L2": 0.7, "L1": 0.3}), digest="small-shift", workload="micro"
+    )
+    # Default floor (0.05) flags the 0.1 shift; a wide floor does not.
+    assert agg.regressions()["flags"]
+    assert agg.regressions(noise_floor=0.5)["flags"] == []
+
+
+def test_render_regressions_text(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=3)
+    assert "no regressions flagged" in render_regressions(agg.regressions())
+    agg.observe(
+        synth_report({"L2": 0.2, "L1": 0.8}), digest="shift", workload="micro"
+    )
+    text = render_regressions(agg.regressions())
+    assert "[cp_shift]" in text and "[top1_change]" in text

@@ -1,0 +1,164 @@
+"""Alert rules: parsing, linting rejections, evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.fleet.fleethelpers import seeded_aggregator, synth_report
+
+from repro.errors import ReproError, RuleError
+from repro.fleet import (
+    evaluate_rules,
+    lint_rules,
+    load_rules,
+    parse_rules,
+    render_alerts,
+)
+
+GOOD = """
+[[rule]]
+name = "hot-lock"
+expr = "cp_fraction > 0.35 and runs >= 2"
+severity = "page"
+description = "one lock owns over a third of the critical path"
+labels = { team = "perf" }
+
+[[rule]]
+name = "ranking-shift"
+expr = "topk_churn >= 0.25"
+workload = "radiosity"
+"""
+
+
+def test_parse_good_spec():
+    rules = parse_rules(GOOD)
+    assert [r.name for r in rules] == ["hot-lock", "ranking-shift"]
+    hot, shift = rules
+    assert hot.scope == "cluster"
+    assert hot.severity == "page"
+    assert hot.expr == "cp_fraction > 0.35 and runs >= 2"
+    assert hot.labels == {"team": "perf"}
+    assert shift.scope == "workload"
+    assert shift.workload == "radiosity"
+    assert shift.severity == "warn"  # default
+
+
+def test_rule_error_is_a_repro_error():
+    with pytest.raises(ReproError):
+        parse_rules("nope = 1")
+
+
+@pytest.mark.parametrize(
+    ("spec", "message"),
+    [
+        ("", "no \\[\\[rule\\]\\] entries"),
+        ("[server]\nport = 1", "unknown top-level table"),
+        ("[[rule]]\nexpr = 'runs > 1'", "non-empty string 'name'"),
+        ("[[rule]]\nname = 'x'", "needs a string 'expr'"),
+        ("[[rule]]\nname = 'x'\nexpr = 'runs > 1'\nfrobnicate = 1", "unknown field"),
+        (
+            "[[rule]]\nname = 'x'\nexpr = 'runs > 1'\nseverity = 'fatal'",
+            "severity 'fatal'",
+        ),
+        ("[[rule]]\nname = 'x'\nexpr = 'bogus_metric > 1'", "unknown metric"),
+        ("[[rule]]\nname = 'x'\nexpr = 'runs >> 1'", "bad clause"),
+        ("[[rule]]\nname = 'x'\nexpr = ''", "empty expr"),
+        (
+            "[[rule]]\nname = 'x'\nexpr = 'cp_fraction > 0.2 and topk_churn > 0.1'",
+            "mixes cluster-scope",
+        ),
+        ("[[rule]]\nname = 'x'\nexpr = 'cp_fraction > 2'", "never exceeds 1"),
+        ("[[rule]]\nname = 'x'\nexpr = 'topk_churn < 0'", "never drops below 0"),
+        (
+            "[[rule]]\nname = 'x'\nexpr = 'runs > 5 and runs < 3'",
+            "unsatisfiable",
+        ),
+        (
+            "[[rule]]\nname = 'x'\nexpr = 'runs > 3 and runs <= 3'",
+            "unsatisfiable",
+        ),
+        ("[[rule]]\nname = 'x'\nexpr = 'cont_prob == 1.5'", "can never hold"),
+        (
+            "[[rule]]\nname = 'a'\nexpr = 'runs > 1'\n"
+            "[[rule]]\nname = 'a'\nexpr = 'runs > 2'",
+            "duplicate rule name",
+        ),
+        ("[[rule]\nname = oops", "not valid TOML"),
+    ],
+)
+def test_lint_rejections(spec, message):
+    with pytest.raises(RuleError, match=message):
+        parse_rules(spec)
+
+
+def test_boundary_equalities_are_satisfiable():
+    # == at a range edge and closed-interval points are fine.
+    rules = parse_rules(
+        "[[rule]]\nname = 'a'\nexpr = 'cp_fraction == 1'\n"
+        "[[rule]]\nname = 'b'\nexpr = 'runs >= 3 and runs <= 3'\n"
+    )
+    assert len(rules) == 2
+
+
+def test_load_rules_prefixes_path(tmp_path):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[[rule]]\nname = 'x'\nexpr = 'cp_fraction > 2'\n")
+    with pytest.raises(RuleError, match="bad.toml"):
+        load_rules(bad)
+    with pytest.raises(RuleError, match="cannot read"):
+        load_rules(tmp_path / "missing.toml")
+
+
+def test_lint_rules_collects_problems(tmp_path):
+    good = tmp_path / "good.toml"
+    good.write_text(GOOD)
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[[rule]]\nname = 'x'\nexpr = 'nope > 1'\n")
+    assert lint_rules([good]) == []
+    problems = lint_rules([good, bad])
+    assert len(problems) == 1
+    assert "unknown metric" in problems[0]
+
+
+def test_evaluate_rules_fires_on_matching_rows(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=4)
+    rules = parse_rules(
+        "[[rule]]\nname = 'hot'\nexpr = 'cp_fraction > 0.5'\nseverity = 'page'\n"
+        "[[rule]]\nname = 'cold'\nexpr = 'cp_fraction > 0.99'\n"
+        "[[rule]]\nname = 'stable'\nexpr = 'topk_churn <= 0.5 and runs >= 2'\n"
+    )
+    alerts = evaluate_rules(rules, agg)
+    assert [a["rule"] for a in alerts] == ["hot", "stable"]  # page sorts first
+    hot = alerts[0]
+    assert hot["site"] == "L2"
+    assert hot["values"]["cp_fraction"] > 0.5
+    assert alerts[1]["scope"] == "workload"
+
+
+def test_evaluate_rules_workload_filter(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=2, workload="ocean")
+    rules = parse_rules(
+        "[[rule]]\nname = 'r'\nexpr = 'cp_fraction > 0.1'\nworkload = 'radiosity'\n"
+    )
+    assert evaluate_rules(rules, agg) == []
+
+
+def test_evaluate_rules_sees_regression_delta(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=4)
+    agg.observe(
+        synth_report({"L2": 0.2, "L1": 0.8}), digest="shift", workload="micro"
+    )
+    rules = parse_rules(
+        "[[rule]]\nname = 'jumped'\nexpr = 'cp_fraction_delta > 0.3'\n"
+        "[[rule]]\nname = 'regressed'\nexpr = 'regressions >= 1'\n"
+    )
+    fired = {a["rule"] for a in evaluate_rules(rules, agg)}
+    assert fired == {"jumped", "regressed"}
+
+
+def test_render_alerts_text(tmp_path):
+    agg = seeded_aggregator(tmp_path / "fleet", runs=3)
+    rules = parse_rules("[[rule]]\nname = 'hot'\nexpr = 'cp_fraction > 0.5'\n")
+    text = render_alerts(evaluate_rules(rules, agg), len(rules))
+    assert "1 firing" in text and "hot" in text and "L2" in text
+    assert render_alerts([], 2) == "alert rules: 2 rule(s) evaluated, 0 firing"
