@@ -261,6 +261,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", metavar="FILE",
         help="TOML alert-rule spec served at /fleet/alerts and the dashboard",
     )
+    srv_p.add_argument(
+        "--backend", default="local", choices=["local", "object", "memory"],
+        help="storage backend: private local disk (default), an S3-style "
+        "object bucket (see --object-root), or in-memory (demos)",
+    )
+    srv_p.add_argument(
+        "--object-root", metavar="DIR",
+        help="bucket directory for --backend object; point every instance "
+        "of a fleet at the same path to share one namespace "
+        "(default: <data-dir>/objects)",
+    )
+    srv_p.add_argument(
+        "--peers", metavar="URLS",
+        help="comma-separated base URLs of the other ring nodes; enables "
+        "consistent-hash job routing (redirects to the owning node)",
+    )
+    srv_p.add_argument(
+        "--self-url", metavar="URL",
+        help="this node's URL as peers reach it (default: http://HOST:PORT)",
+    )
 
     fl_p = sub.add_parser(
         "fleet",
@@ -646,6 +666,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_capacity=args.cache_size,
         rules_path=args.rules,
+        backend=args.backend,
+        object_root=args.object_root,
+        self_url=args.self_url,
+        peers=tuple(
+            p.strip() for p in (args.peers or "").split(",") if p.strip()
+        ),
     )
 
 

@@ -17,19 +17,31 @@ Layering::
       api.py    routing + request/response schemas      <- also usable in-process
     jobs.py     job model, JobStore, execute() facade   <- pure, picklable
     pool.py     multiprocessing worker pool + supervisor
-    cache.py    LRU result cache with disk spill
+    cache.py    LRU result cache with pluggable spill tier
     store.py    content-addressed trace storage
-    stream.py   chunked-append streaming ingestion sessions
+    backend.py  durable storage backends (local disk, S3-style objects)
+    ring.py     consistent-hash job routing across a fleet of instances
+    stream.py   chunked-append streaming ingestion sessions (checkpointed)
     metrics.py  counters + latency histograms (self-observation)
-    client.py   urllib-based HTTP client
+    client.py   urllib-based HTTP client (follows ring redirects)
 """
 
 from repro.service.api import ServiceAPI
+from repro.service.backend import (
+    BackendMissing,
+    DirectoryObjectClient,
+    LocalDiskBackend,
+    MemoryObjectClient,
+    ObjectBackend,
+    StorageBackend,
+    make_backend,
+)
 from repro.service.cache import ResultCache
 from repro.service.client import ServiceClient
 from repro.service.jobs import JOB_KINDS, Job, JobSpec, JobStore, execute
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.pool import WorkerPool
+from repro.service.ring import HashRing
 from repro.service.store import TraceStore
 from repro.service.stream import StreamSession, StreamStore
 
@@ -38,6 +50,14 @@ __all__ = [
     "ServiceClient",
     "ResultCache",
     "TraceStore",
+    "StorageBackend",
+    "LocalDiskBackend",
+    "ObjectBackend",
+    "MemoryObjectClient",
+    "DirectoryObjectClient",
+    "BackendMissing",
+    "make_backend",
+    "HashRing",
     "StreamStore",
     "StreamSession",
     "WorkerPool",

@@ -37,23 +37,36 @@ served by the HTTP layer on top of these)::
     GET  /fleet/summary      ?top=N          -> cluster summary
     GET  /fleet/regressions  ?topk=&noise_floor=&sigma= -> ranking shifts
     GET  /fleet/alerts                       -> alert rules evaluated now
+
+Multi-node (consistent-hash routing, :mod:`repro.service.ring`)::
+
+    GET  /ring               -> {routing, self, nodes, replicas}
+    POST /jobs               -> 307 {redirect, node} when another ring
+                                node owns the job's cache key
+
+Storage is pluggable (:mod:`repro.service.backend`): ``backend=`` (an
+instance or a ``serve --backend`` spec string) routes the trace store
+and result cache through shared object storage; the default keeps the
+original private local-disk layout.
 """
 
 from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
 from repro.errors import ServiceError
 from repro.fleet.aggregate import FleetAggregator
 from repro.fleet.dashboard import render_dashboard
 from repro.fleet.ingest import FleetIngestor, ingest_store
 from repro.fleet.rules import evaluate_rules, load_rules
+from repro.service.backend import StorageBackend, make_backend
 from repro.service.cache import ResultCache
 from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobSpec, JobStore, execute
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import DEFAULT_START_METHOD, WorkerPool
+from repro.service.ring import HashRing
 from repro.service.store import TraceStore
 from repro.service.stream import StreamStore
 
@@ -71,12 +84,35 @@ class ServiceAPI:
         start_method: str = DEFAULT_START_METHOD,
         max_pending_chunks: int = 64,
         rules_path: str | Path | None = None,
+        backend: StorageBackend | str | None = None,
+        object_root: str | Path | None = None,
+        self_url: str | None = None,
+        peers: Sequence[str] = (),
     ):
         self.data_dir = Path(data_dir)
-        self.store = TraceStore(self.data_dir / "traces")
-        self.cache = ResultCache(
-            capacity=cache_capacity, disk_dir=self.data_dir / "cache"
+        if isinstance(backend, str):
+            backend = make_backend(backend, self.data_dir, object_root=object_root)
+        self.backend = backend
+        self.store = TraceStore(
+            self.data_dir / "traces",
+            backend=backend.scoped("traces") if backend is not None else None,
         )
+        cache_backend = backend.scoped("cache") if backend is not None else None
+        self.cache = ResultCache(
+            capacity=cache_capacity,
+            disk_dir=None if cache_backend is not None else self.data_dir / "cache",
+            backend=cache_backend,
+        )
+        self.self_url = (self_url or "").rstrip("/") or None
+        peers = [p.rstrip("/") for p in peers if p]
+        if peers:
+            if self.self_url is None:
+                raise ServiceError(
+                    "ring routing needs self_url when peers are configured"
+                )
+            self.ring: HashRing | None = HashRing([self.self_url, *peers])
+        else:
+            self.ring = None
         self.streams = StreamStore(
             self.data_dir / "streams", max_pending_chunks=max_pending_chunks
         )
@@ -168,7 +204,10 @@ class ServiceAPI:
                     req = json.loads(body or b"{}")
                 except json.JSONDecodeError as exc:
                     raise ServiceError(f"request body is not JSON: {exc}") from exc
-                return 202, self.submit_job(req)
+                out = self.submit_job(req)
+                if "redirect" in out:
+                    return 307, out
+                return 202, out
             case ("GET", ["jobs"]):
                 return 200, {"jobs": [j.to_dict() for j in self.jobs.list()]}
             case ("GET", ["jobs", job_id]):
@@ -200,6 +239,14 @@ class ServiceAPI:
                 return 200, ingest_store(
                     self.fleet, self.store, metrics=self.metrics
                 )
+            case ("GET", ["ring"]):
+                if self.ring is None:
+                    return 200, {"routing": False, "self": self.self_url}
+                return 200, {
+                    "routing": True,
+                    "self": self.self_url,
+                    **self.ring.to_dict(),
+                }
             case ("GET", ["metrics"]):
                 return 200, self.snapshot_metrics()
             case ("GET", ["healthz"]):
@@ -296,6 +343,22 @@ class ServiceAPI:
             params.setdefault("state_dir", str(self.data_dir / "fleet"))
 
         spec = JobSpec(kind=kind, digests=tuple(digests), params=params)
+
+        # Consistent-hash routing: every cacheable job has one owning
+        # node; everyone else answers with a redirect the client follows.
+        # (Fleet kinds read node-local persisted state and selftest is a
+        # diagnostics probe of *this* node — both always run locally.)
+        if self.ring is not None and not fleet_kind and kind != "selftest":
+            owner = self.ring.owner(spec.cache_key())
+            if owner != self.self_url:
+                self.metrics.count_redirected(kind)
+                return {
+                    "redirect": f"{owner}/jobs",
+                    "node": owner,
+                    "kind": kind,
+                    "key": spec.cache_key(),
+                }
+
         paths = self.store.resolve(spec.digests)  # 404s before queuing
         job = self.jobs.create(spec)
         self.metrics.count_submitted(kind)
@@ -397,6 +460,14 @@ class ServiceAPI:
         }
         out["cache"] = self.cache.stats()
         out["traces"] = self.store.stats()
+        out["storage"] = {
+            "backend": self.backend.name if self.backend is not None else "local"
+        }
+        out["ring"] = (
+            {"routing": True, "self": self.self_url, "nodes": len(self.ring)}
+            if self.ring is not None
+            else {"routing": False}
+        )
         out["streams"].update(self.streams.stats())
         out["fleet"].update(self.fleet.stats())
         return out

@@ -4,8 +4,18 @@ Keys are the job's :meth:`~repro.service.jobs.JobSpec.cache_key` — a
 sha256 over (trace digests, analysis kind, canonical params) — so a hit
 is only possible for byte-identical questions about content-identical
 traces.  Values are finished report dicts (JSON-serializable by
-construction), which is what makes the disk tier trivial: evicted
+construction), which is what makes the spill tier trivial: evicted
 entries are written as ``<key>.json`` and promoted back on access.
+
+The spill tier is a :class:`~repro.service.backend.StorageBackend`.
+``disk_dir`` keeps the original local layout; passing ``backend=``
+points the tier at shared object storage instead, and flips on
+write-through (every ``put`` persists immediately), so a restarted
+instance — or a *different* instance sharing the namespace — serves
+results computed before the restart.  Trim order is maintained
+incrementally (an insertion-ordered key set, refreshed on promotion),
+so eviction is O(1) amortized instead of stat+sort over the whole tier
+on every spill.
 """
 
 from __future__ import annotations
@@ -17,27 +27,44 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ServiceError
+from repro.service.backend import BackendMissing, LocalDiskBackend, StorageBackend
 
 __all__ = ["ResultCache"]
 
 
 class ResultCache:
-    """Thread-safe LRU of analysis results with an optional disk tier."""
+    """Thread-safe LRU of analysis results with an optional spill tier."""
 
     def __init__(
         self,
         capacity: int = 256,
         disk_dir: str | Path | None = None,
         disk_capacity: int = 4096,
+        backend: StorageBackend | None = None,
+        write_through: bool | None = None,
     ):
         if capacity < 1:
             raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.disk_capacity = disk_capacity
-        self._dir = Path(disk_dir) if disk_dir is not None else None
-        if self._dir is not None:
-            self._dir.mkdir(parents=True, exist_ok=True)
+        if backend is not None:
+            self._tier: StorageBackend | None = backend
+        elif disk_dir is not None:
+            self._tier = LocalDiskBackend(disk_dir)
+        else:
+            self._tier = None
+        # Shared/object tiers default to write-through: results must
+        # survive this process and be visible to ring peers.  The local
+        # tier keeps the original spill-on-evict behavior.
+        self.write_through = (backend is not None) if write_through is None else write_through
         self._mem: OrderedDict[str, dict] = OrderedDict()
+        # Spill order, oldest first; maintained incrementally so evicting
+        # into a 4096-entry tier never stats and sorts the whole tier.
+        self._tier_keys: OrderedDict[str, None] = OrderedDict()
+        if self._tier is not None:
+            for key in self._tier.keys_oldest_first():
+                if key.endswith(".json"):
+                    self._tier_keys[key[: -len(".json")]] = None
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -52,7 +79,7 @@ class ResultCache:
                 self._mem.move_to_end(key)
                 self.hits += 1
                 return value
-            value = self._disk_load(key)
+            value = self._tier_load(key)
             if value is not None:
                 self.hits += 1
                 self.disk_hits += 1
@@ -64,10 +91,14 @@ class ResultCache:
     def put(self, key: str, value: dict[str, Any]) -> None:
         with self._lock:
             self._insert(key, value)
+            if self.write_through:
+                self._tier_store(key, value)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._mem or self._disk_path_if_exists(key) is not None
+            if key in self._mem:
+                return True
+            return self._tier is not None and self._tier.exists(f"{key}.json")
 
     def __len__(self) -> int:
         with self._lock:
@@ -79,12 +110,14 @@ class ResultCache:
             return {
                 "entries": len(self._mem),
                 "capacity": self.capacity,
-                "disk_entries": self._disk_count(),
+                "disk_entries": len(self._tier_keys),
                 "hits": self.hits,
                 "disk_hits": self.disk_hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "write_through": self.write_through,
+                "backend": self._tier.name if self._tier is not None else None,
             }
 
     # -- internals (callers hold self._lock) --------------------------------
@@ -95,38 +128,27 @@ class ResultCache:
         while len(self._mem) > self.capacity:
             old_key, old_value = self._mem.popitem(last=False)
             self.evictions += 1
-            self._disk_store(old_key, old_value)
+            self._tier_store(old_key, old_value)
 
-    def _disk_path(self, key: str) -> Path:
-        return self._dir / f"{key}.json"
-
-    def _disk_path_if_exists(self, key: str) -> Path | None:
-        if self._dir is None:
-            return None
-        path = self._disk_path(key)
-        return path if path.exists() else None
-
-    def _disk_load(self, key: str) -> dict | None:
-        path = self._disk_path_if_exists(key)
-        if path is None:
+    def _tier_load(self, key: str) -> dict | None:
+        if self._tier is None:
             return None
         try:
-            return json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            # A torn write (crash mid-spill) must read as a miss, not an error.
+            return json.loads(self._tier.get(f"{key}.json").decode("utf-8"))
+        except (BackendMissing, OSError, UnicodeDecodeError, json.JSONDecodeError):
+            # A torn write (crash mid-spill) must read as a miss, not an
+            # error; a peer may also have trimmed the key under us.
+            self._tier_keys.pop(key, None)
             return None
 
-    def _disk_store(self, key: str, value: dict) -> None:
-        if self._dir is None:
+    def _tier_store(self, key: str, value: dict) -> None:
+        if self._tier is None:
             return
-        tmp = self._disk_path(key).with_suffix(".tmp")
-        tmp.write_text(json.dumps(value), encoding="utf-8")
-        tmp.replace(self._disk_path(key))
-        files = sorted(self._dir.glob("*.json"), key=lambda p: p.stat().st_mtime)
-        while len(files) > self.disk_capacity:
-            files.pop(0).unlink(missing_ok=True)
-
-    def _disk_count(self) -> int:
-        if self._dir is None:
-            return 0
-        return sum(1 for _ in self._dir.glob("*.json"))
+        self._tier.put(f"{key}.json", json.dumps(value).encode("utf-8"))
+        # Refresh this key's position, then trim oldest-first — O(1)
+        # amortized per spill against the incremental order.
+        self._tier_keys.pop(key, None)
+        self._tier_keys[key] = None
+        while len(self._tier_keys) > self.disk_capacity:
+            victim, _ = self._tier_keys.popitem(last=False)
+            self._tier.delete(f"{victim}.json")

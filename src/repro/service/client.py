@@ -29,45 +29,74 @@ _TERMINAL = ("done", "failed")
 
 
 class ServiceClient:
-    """Thin JSON-over-HTTP wrapper around the service endpoints."""
+    """Thin JSON-over-HTTP wrapper around the service endpoints.
+
+    Ring-aware: when a node answers a job submission with a 307 (another
+    node owns that cache key), the client re-issues the request to the
+    owning node and pins the returned job id there, so subsequent
+    ``job()``/``report()``/``wait()`` polls hit the node that actually
+    runs the job.
+    """
+
+    #: Redirect hops tolerated before declaring the ring misconfigured.
+    MAX_REDIRECTS = 4
 
     def __init__(self, base_url: str, timeout: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self._job_nodes: dict[str, str] = {}  # job id -> owning node URL
+        self._served_by = self.base_url  # node that answered the last request
 
     # -- transport ----------------------------------------------------------
 
     def _request(
         self, method: str, path: str, body: bytes | None = None,
-        content_type: str = "application/json",
+        content_type: str = "application/json", base: str | None = None,
     ) -> dict[str, Any]:
-        req = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=body,
-            method=method,
-            headers={"Content-Type": content_type} if body is not None else {},
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        url = f"{base or self.base_url}{path}"
+        for _hop in range(self.MAX_REDIRECTS + 1):
+            req = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers={"Content-Type": content_type} if body is not None else {},
+            )
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                detail = exc.reason
-            raise ServiceError(
-                f"{method} {path} -> HTTP {exc.code}: {detail}", status=exc.code
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}", status=503
-            ) from exc
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    self._served_by = url[: -len(path)] if path else url
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                raw = exc.read()
+                try:
+                    detail = json.loads(raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    detail = {"error": str(exc.reason)}
+                if exc.code in (307, 308):
+                    target = detail.get("redirect") or exc.headers.get("Location")
+                    if target:
+                        url = target
+                        continue
+                raise ServiceError(
+                    f"{method} {path} -> HTTP {exc.code}: "
+                    f"{detail.get('error', '')}", status=exc.code
+                ) from exc
+            except urllib.error.URLError as exc:
+                raise ServiceError(
+                    f"cannot reach service at {url}: {exc.reason}", status=503
+                ) from exc
+        raise ServiceError(
+            f"{method} {path}: redirect loop after {self.MAX_REDIRECTS} hops",
+            status=508,
+        )
 
     def _get(self, path: str) -> dict[str, Any]:
         return self._request("GET", path)
 
     def _post_json(self, path: str, payload: dict) -> dict[str, Any]:
         return self._request("POST", path, json.dumps(payload).encode("utf-8"))
+
+    def _job_base(self, job_id: str) -> str | None:
+        return self._job_nodes.get(job_id)
 
     # -- traces -------------------------------------------------------------
 
@@ -93,6 +122,10 @@ class ServiceClient:
     def traces(self) -> list[dict[str, Any]]:
         return self._get("/traces")["traces"]
 
+    def trace(self, digest: str) -> dict[str, Any]:
+        """Index entry for one stored trace (404 if unknown)."""
+        return self._get(f"/traces/{digest}")
+
     # -- jobs ---------------------------------------------------------------
 
     def submit(
@@ -104,13 +137,17 @@ class ServiceClient:
         job = self._post_json(
             "/jobs", {"kind": kind, "traces": traces, "params": params or {}}
         )
+        if self._served_by != self.base_url:
+            # A ring redirect landed this job on another node; pin every
+            # follow-up (status polls, the report fetch) to that node.
+            self._job_nodes[job["id"]] = self._served_by
         return job["id"]
 
     def job(self, job_id: str) -> dict[str, Any]:
-        return self._get(f"/jobs/{job_id}")
+        return self._request("GET", f"/jobs/{job_id}", base=self._job_base(job_id))
 
     def report(self, job_id: str) -> dict[str, Any]:
-        return self._get(f"/reports/{job_id}")
+        return self._request("GET", f"/reports/{job_id}", base=self._job_base(job_id))
 
     def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict:
         """Poll until the job finishes; returns the result dict."""
@@ -180,6 +217,14 @@ class ServiceClient:
 
     def stream_status(self, sid: str) -> dict[str, Any]:
         return self._get(f"/streams/{sid}")
+
+    def resume_stream(self, sid: str) -> int:
+        """Where to resume a (possibly restarted) session: the next chunk
+        id the server expects.  After a server restart this is the first
+        chunk *after* the last durably checkpointed one — re-send from
+        here; anything the server already has is an idempotent duplicate.
+        """
+        return int(self.stream_status(sid)["chunks"])
 
     def stream_snapshot(
         self, sid: str, top: int | None = None, render: bool = False
@@ -303,6 +348,10 @@ class ServiceClient:
         return events
 
     # -- operational --------------------------------------------------------
+
+    def ring(self) -> dict[str, Any]:
+        """This node's view of the consistent-hash routing ring."""
+        return self._get("/ring")
 
     def metrics(self) -> dict[str, Any]:
         return self._get("/metrics")

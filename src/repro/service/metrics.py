@@ -77,6 +77,7 @@ class ServiceMetrics:
         self.completed: dict[str, int] = {}
         self.failed: dict[str, int] = {}
         self.cache_short_circuits = 0  # jobs answered at submit time
+        self.redirected: dict[str, int] = {}  # jobs routed to their ring owner
         self.requests = 0
         self._latency: dict[str, LatencyHistogram] = {}
         # Streaming ingestion (chunked-append sessions).
@@ -116,6 +117,10 @@ class ServiceMetrics:
     def count_failed(self, kind: str) -> None:
         with self._lock:
             self.failed[kind] = self.failed.get(kind, 0) + 1
+
+    def count_redirected(self, kind: str) -> None:
+        with self._lock:
+            self.redirected[kind] = self.redirected.get(kind, 0) + 1
 
     # -- streaming ingestion --------------------------------------------------
 
@@ -175,6 +180,7 @@ class ServiceMetrics:
                     "completed": dict(self.completed),
                     "failed": dict(self.failed),
                     "cache_short_circuits": self.cache_short_circuits,
+                    "redirected": dict(self.redirected),
                 },
                 "streams": {
                     "opened": self.streams_opened,

@@ -1,0 +1,82 @@
+"""Consistent-hash job routing for a fleet of service instances.
+
+With a shared object backend the *data* is location-independent:
+traces and cached results live in one namespace every instance can
+read.  What still wants an owner is the *work*: two instances that
+both compute (and separately memory-cache) the same job waste CPU and
+halve the in-memory hit rate.  A :class:`HashRing` gives every cache
+key exactly one owning node, and non-owners answer job submissions
+with a 307 redirect the :class:`~repro.service.client.ServiceClient`
+follows transparently.
+
+Classic Karger ring: each node is hashed onto the circle at
+``replicas`` pseudo-random points (sha256 of ``"<node>#<i>"``), a key
+is owned by the first node point clockwise of the key's hash.  Adding
+or removing one node therefore only moves ~1/N of the keyspace —
+resizing a fleet does not stampede the shared cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Iterable
+
+from repro.errors import ServiceError
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit position on the circle for one label."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Maps keys to owning nodes; stable under fleet resizes."""
+
+    def __init__(self, nodes: Iterable[str], replicas: int = 64):
+        self.nodes = sorted(set(nodes))
+        if not self.nodes:
+            raise ServiceError("hash ring needs at least one node")
+        if replicas < 1:
+            raise ServiceError(f"ring replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        points: list[tuple[int, str]] = []
+        for node in self.nodes:
+            for i in range(replicas):
+                points.append((_point(f"{node}#{i}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first point clockwise of its hash)."""
+        idx = bisect.bisect_right(self._points, _point(key))
+        if idx == len(self._points):
+            idx = 0  # wrap around the circle
+        return self._owners[idx]
+
+    def preference(self, key: str, n: int = 2) -> list[str]:
+        """The first ``n`` *distinct* nodes clockwise of ``key`` — the
+        owner first, then the natural failover order."""
+        idx = bisect.bisect_right(self._points, _point(key))
+        out: list[str] = []
+        for step in range(len(self._points)):
+            node = self._owners[(idx + step) % len(self._points)]
+            if node not in out:
+                out.append(node)
+                if len(out) >= min(n, len(self.nodes)):
+                    break
+        return out
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"nodes": self.nodes, "replicas": self.replicas}

@@ -69,6 +69,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _reply(self, status: int, payload: dict) -> None:
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
+        if status in (307, 308) and payload.get("redirect"):
+            # Ring routing: point plain HTTP clients at the owning node
+            # (the JSON body carries the same URL for ours).
+            self.send_header("Location", payload["redirect"])
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
@@ -166,20 +170,34 @@ def serve(
     cache_capacity: int = 256,
     start_method: str = DEFAULT_START_METHOD,
     rules_path: str | Path | None = None,
+    backend: str = "local",
+    object_root: str | Path | None = None,
+    self_url: str | None = None,
+    peers: tuple[str, ...] = (),
 ) -> int:
     """Run the analysis service until interrupted (CLI entry point)."""
+    if peers and not self_url:
+        self_url = f"http://{host}:{port}"
     api = ServiceAPI(
         data_dir=data_dir,
         workers=workers,
         cache_capacity=cache_capacity,
         start_method=start_method,
         rules_path=rules_path,
+        backend=backend,
+        object_root=object_root,
+        self_url=self_url,
+        peers=peers,
     )
     server = make_server(api, host, port)
+    resumed = api.streams.recovered_sessions
     print(
         f"critical-lock-analysis service on {server.url} "
-        f"({workers} worker process(es), data in {Path(data_dir).resolve()}"
+        f"({workers} worker process(es), data in {Path(data_dir).resolve()}, "
+        f"storage backend {api.backend.name if api.backend else 'local'}"
         + (f", {len(api.fleet_rules)} alert rule(s)" if rules_path else "")
+        + (f", ring of {len(api.ring)} nodes" if api.ring else "")
+        + (f", {resumed} stream session(s) resumed" if resumed else "")
         + f"); dashboard at {server.url}/dashboard"
     )
     try:

@@ -6,23 +6,45 @@ same execution uploaded as ``.clt`` and ``.jsonl`` deduplicates — and
 persisted once in canonical binary form as ``<digest>.clt`` with a
 ``<digest>.meta.json`` sidecar.  Restarting the service rebuilds the
 index from the sidecars; worker processes receive plain file paths.
+
+Durability goes through a :class:`~repro.service.backend.StorageBackend`.
+The default (``backend=None``) is the original local layout — both
+files directly under ``root``, now written tmp-then-``os.replace`` so a
+crash can never leave a torn visible file.  With an object backend the
+backend holds the durable copy and ``root`` becomes a scratch directory
+where traces are *materialized* on demand (workers read local files).
+
+Crash-safety contract, either backend:
+
+* the sidecar is written strictly *after* the trace body, so a sidecar
+  implies a complete body;
+* an orphaned body (crash between the two writes) is reaped on the
+  next rescan, as are stale ``.upload-*``/``.stage-*`` staging files;
+* a sidecar whose schema this build cannot load (older/newer service)
+  is skipped with a warning instead of crashing startup.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
 import threading
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from repro.errors import ServiceError, TraceError
+from repro.service.backend import BackendMissing, LocalDiskBackend, StorageBackend
 from repro.trace.digest import trace_digest
 from repro.trace.reader import read_trace
 from repro.trace.trace import Trace
 from repro.trace.writer import write_trace
 
 __all__ = ["TraceStore", "StoredTrace"]
+
+log = logging.getLogger("repro.service")
 
 
 @dataclass(frozen=True)
@@ -49,11 +71,15 @@ class StoredTrace:
 
 
 class TraceStore:
-    """Digest-keyed trace files under one root directory."""
+    """Digest-keyed trace files behind a pluggable storage backend."""
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, backend: StorageBackend | None = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Local scratch double-duty: with the default backend it *is*
+        # the store; with an object backend it caches materializations.
+        self.backend: StorageBackend = backend or LocalDiskBackend(self.root)
+        self._remote = backend is not None
         self._index: dict[str, StoredTrace] = {}
         self._lock = threading.Lock()
         self._rescan()
@@ -68,7 +94,11 @@ class TraceStore:
             if existing is not None:
                 return existing
             path = self.root / f"{digest}.clt"
-            write_trace(trace, path)
+            # Stage under a unique dotted name: never visible to rescans,
+            # never clobbered by a concurrent writer, reaped if orphaned.
+            staging = self.root / f".stage-{uuid.uuid4().hex}.tmp"
+            write_trace(trace, staging, fmt="clt")
+            size = staging.stat().st_size
             entry = StoredTrace(
                 digest=digest,
                 path=path,
@@ -76,8 +106,14 @@ class TraceStore:
                 nevents=len(trace),
                 nthreads=len(trace.threads),
                 duration=trace.duration,
-                size_bytes=path.stat().st_size,
+                size_bytes=size,
             )
+            # Body first (atomically), sidecar second: a crash in between
+            # leaves an orphan body the next rescan reaps — never a
+            # sidecar pointing at a missing or torn body.
+            self.backend.put_path(f"{digest}.clt", staging)
+            if staging.exists():  # object backend uploaded a copy;
+                os.replace(staging, path)  # keep it as the local materialization
             self._write_sidecar(entry)
             self._index[digest] = entry
             return entry
@@ -86,7 +122,9 @@ class TraceStore:
         """Store an uploaded trace blob (either supported format)."""
         if not data:
             raise ServiceError("empty upload is not a trace", status=400)
-        tmp = self.root / f".upload-{threading.get_ident()}.tmp"
+        # Unique per call: thread idents are recycled by the OS, so a
+        # crashed upload's leftover must never collide with a live one.
+        tmp = self.root / f".upload-{uuid.uuid4().hex}.tmp"
         try:
             tmp.write_bytes(data)
             try:
@@ -107,13 +145,42 @@ class TraceStore:
     def get(self, digest: str) -> StoredTrace:
         with self._lock:
             entry = self._index.get(digest)
+        if entry is None and self._remote:
+            # Shared backend: a ring peer may have uploaded this trace
+            # after our rescan.  Adopt its sidecar lazily.
+            entry = self._adopt(digest)
         if entry is None:
             raise ServiceError(f"no such trace: {digest}", status=404)
         return entry
 
+    def _adopt(self, digest: str) -> StoredTrace | None:
+        try:
+            blob = json.loads(self.backend.get(f"{digest}.meta.json").decode("utf-8"))
+            entry = StoredTrace(path=self.root / f"{digest}.clt", **blob)
+        except (BackendMissing, UnicodeDecodeError, json.JSONDecodeError, TypeError):
+            return None
+        with self._lock:
+            return self._index.setdefault(digest, entry)
+
     def resolve(self, digests: list[str] | tuple[str, ...]) -> list[str]:
         """Digests -> worker-ready file paths (404s on any unknown digest)."""
-        return [str(self.get(d).path) for d in digests]
+        return [str(self._materialize(self.get(d))) for d in digests]
+
+    def _materialize(self, entry: StoredTrace) -> Path:
+        """Ensure the trace exists as a local file (object-backend fetch)."""
+        if entry.path.exists():
+            return entry.path
+        try:
+            data = self.backend.get(f"{entry.digest}.clt")
+        except BackendMissing:
+            raise ServiceError(
+                f"trace {entry.digest} vanished from the storage backend",
+                status=410,
+            ) from None
+        tmp = self.root / f".stage-{uuid.uuid4().hex}.tmp"
+        tmp.write_bytes(data)
+        os.replace(tmp, entry.path)
+        return entry.path
 
     def list(self) -> list[StoredTrace]:
         with self._lock:
@@ -128,24 +195,60 @@ class TraceStore:
             return {
                 "count": len(self._index),
                 "bytes": sum(e.size_bytes for e in self._index.values()),
+                "backend": self.backend.name,
             }
 
     # -- persistence ---------------------------------------------------------
 
-    def _sidecar(self, digest: str) -> Path:
-        return self.root / f"{digest}.meta.json"
-
     def _write_sidecar(self, entry: StoredTrace) -> None:
-        blob = entry.to_dict()
-        self._sidecar(entry.digest).write_text(json.dumps(blob), encoding="utf-8")
+        blob = json.dumps(entry.to_dict()).encode("utf-8")
+        self.backend.put(f"{entry.digest}.meta.json", blob)
 
     def _rescan(self) -> None:
-        for sidecar in self.root.glob("*.meta.json"):
+        """Rebuild the index from sidecars; reap anything half-written.
+
+        Called on startup (constructor).  Orphans are the residue of a
+        crash at any point in :meth:`put_trace`/:meth:`put_bytes`:
+        staging files, and trace bodies whose sidecar never landed.
+        """
+        # Stale staging files in the scratch dir (ours or a dead peer's).
+        for stale in (*self.root.glob(".upload-*.tmp"), *self.root.glob(".stage-*.tmp")):
+            stale.unlink(missing_ok=True)
+        keys = set(self.backend.keys())
+        seen_bodies: set[str] = set()
+        for key in sorted(keys):
+            if not key.endswith(".meta.json"):
+                continue
+            digest = key[: -len(".meta.json")]
             try:
-                blob = json.loads(sidecar.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
+                blob = json.loads(self.backend.get(key).decode("utf-8"))
+            except (BackendMissing, OSError, UnicodeDecodeError, json.JSONDecodeError):
+                log.warning("trace store: unreadable sidecar %s; skipping", key)
                 continue
-            path = self.root / f"{blob['digest']}.clt"
-            if not path.exists():
+            if f"{digest}.clt" not in keys:
+                # Sidecar without a body should be impossible (body is
+                # written first) — tolerate it, but don't index it.
+                log.warning("trace store: sidecar %s has no trace body", key)
                 continue
-            self._index[blob["digest"]] = StoredTrace(path=path, **blob)
+            path = self.root / f"{digest}.clt"
+            try:
+                entry = StoredTrace(path=path, **blob)
+            except TypeError:
+                # Sidecar from an older/newer schema (missing or extra
+                # keys).  Skipping keeps the service bootable; the trace
+                # can be re-uploaded (same digest, fresh sidecar).
+                log.warning(
+                    "trace store: sidecar %s does not match this build's "
+                    "schema; skipping", key,
+                )
+                continue
+            self._index[digest] = entry
+            seen_bodies.add(f"{digest}.clt")
+        # Orphaned bodies: a crash after the body write but before the
+        # sidecar.  Without a sidecar they are invisible forever — reap
+        # them so the store cannot leak disk across crashes.
+        for key in keys:
+            if key.endswith(".clt") and key not in seen_bodies:
+                log.warning("trace store: reaping orphaned trace body %s", key)
+                self.backend.delete(key)
+                (self.root / key).unlink(missing_ok=True)

@@ -19,10 +19,23 @@ framed chunks (:mod:`repro.trace.framing`) and be diagnosed live:
   canonical :class:`~repro.trace.Trace` (same sort + renumber as the
   batch path, so the digest and every downstream analysis are identical
   to a whole-file upload) and hands it to the caller.
+
+Sessions are **checkpointed**: after every durably spooled chunk the
+ingest thread rewrites ``<sid>.ckpt.json`` (tmp-then-replace, after an
+fsync of the spool) recording the session identity, the number of
+chunks on disk and the exact spool byte offset.  A restarted server
+rebuilds every open session from its checkpoint — truncating any torn
+spool tail past the checkpointed offset and replaying the spool through
+a fresh :class:`OnlineAnalyzer` — so producers ``GET /streams/<sid>``,
+see the durable ``next_chunk``, and resume from the last acknowledged
+chunk instead of getting 404s and losing the stream.
 """
 
 from __future__ import annotations
 
+import json
+import logging
+import os
 import threading
 import time
 import uuid
@@ -41,10 +54,15 @@ from repro.trace.writer import objects_from_header
 
 __all__ = ["StreamSession", "StreamStore"]
 
+log = logging.getLogger("repro.service")
+
 # Stream lifecycle states.
 OPEN = "open"
 FINALIZING = "finalizing"
 FINALIZED = "finalized"
+
+#: Records per block when replaying a spool at recovery (bounds memory).
+_REPLAY_BLOCK = 1 << 18
 
 
 class StreamSession:
@@ -54,6 +72,7 @@ class StreamSession:
         "id", "name", "meta", "created_at", "state", "next_chunk",
         "ingested_chunks", "events", "bytes", "duplicates", "rejected_429",
         "pending", "analyzer", "alock", "spool_path", "digest", "max_pending",
+        "spool_offset", "spooled_events", "resumed",
     )
 
     def __init__(self, sid: str, name: str, meta: dict, spool_path: Path,
@@ -75,6 +94,9 @@ class StreamSession:
         self.spool_path = spool_path
         self.digest: str | None = None
         self.max_pending = max_pending
+        self.spool_offset = 0          # durable bytes in the spool file
+        self.spooled_events = 0        # events durably on disk
+        self.resumed = False           # rebuilt from a checkpoint?
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -91,6 +113,30 @@ class StreamSession:
             "rejected_429": self.rejected_429,
             "max_pending": self.max_pending,
             "digest": self.digest,
+            "resumed": self.resumed,
+        }
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint_blob(self) -> dict[str, Any]:
+        """Durable bookkeeping: everything needed to resume this session.
+
+        Only *ingested* progress is recorded — chunks still in the
+        pending queue are not durable and the producer re-sends them
+        after a restart (the ack contract makes that an idempotent
+        duplicate at worst, never a double-ingest).
+        """
+        return {
+            "version": 1,
+            "id": self.id,
+            "name": self.name,
+            "meta": self.meta,
+            "created_at": self.created_at,
+            "chunks": self.ingested_chunks,
+            "spool_offset": self.spool_offset,
+            "events": self.spooled_events,
+            "bytes": self.bytes,
+            "max_pending": self.max_pending,
         }
 
 
@@ -113,6 +159,7 @@ class StreamStore:
         self._drained = threading.Condition(self._lock)  # a queue emptied
         self._closed = False
         self._paused = False  # test hook: freeze ingestion to force 429s
+        self.recovered_sessions = self._recover()
         self._ingester = threading.Thread(
             target=self._ingest_loop, name="stream-ingest", daemon=True
         )
@@ -127,8 +174,12 @@ class StreamStore:
             self._closed = True
             self._work.notify_all()
         self._ingester.join(timeout=5.0)
+        # Open sessions keep their spool + checkpoint on disk — that is
+        # the restart contract.  Only retired sessions are swept.
         for session in list(self._sessions.values()):
-            session.spool_path.unlink(missing_ok=True)
+            if session.state == FINALIZED:
+                session.spool_path.unlink(missing_ok=True)
+                self._ckpt_path(session.id).unlink(missing_ok=True)
 
     def pause_ingest(self) -> None:
         """Stop draining queues (tests: deterministic backpressure)."""
@@ -156,10 +207,12 @@ class StreamStore:
             spool_path=self.root / f"{sid}.spool",
             max_pending=int(max_pending or self.max_pending_chunks),
         )
-        session.spool_path.touch()
         with self._lock:
             if self._closed:
                 raise ServiceError("stream store is closed", status=503)
+        session.spool_path.touch()
+        self._write_checkpoint(session)
+        with self._lock:
             self._sessions[sid] = session
         return session
 
@@ -181,6 +234,7 @@ class StreamStore:
                 "sessions": len(self._sessions),
                 "open": len(open_sessions),
                 "pending_chunks": sum(len(s.pending) for s in open_sessions),
+                "recovered": self.recovered_sessions,
             }
 
     # -- chunk ingestion -------------------------------------------------------
@@ -253,6 +307,7 @@ class StreamStore:
                 "accepted_events": accepted_events,
                 "duplicates": duplicates,
                 "next_chunk": session.next_chunk,
+                "durable_chunk": session.ingested_chunks,
                 "pending_chunks": len(session.pending),
                 "events": session.events,
             }
@@ -323,12 +378,98 @@ class StreamStore:
         with self._lock:
             session.state = FINALIZED
         session.spool_path.unlink(missing_ok=True)
+        self._ckpt_path(sid).unlink(missing_ok=True)
         return session, trace
 
     def forget(self, sid: str) -> None:
         """Drop a finalized session from the listing."""
         with self._lock:
             self._sessions.pop(sid, None)
+
+    # -- checkpoint persistence ------------------------------------------------
+
+    def _ckpt_path(self, sid: str) -> Path:
+        return self.root / f"{sid}.ckpt.json"
+
+    def _write_checkpoint(self, session: StreamSession) -> None:
+        """Atomically persist a session's durable bookkeeping."""
+        blob = json.dumps(session.checkpoint_blob()).encode("utf-8")
+        tmp = self.root / f".ckpt-{uuid.uuid4().hex}.tmp"
+        tmp.write_bytes(blob)
+        os.replace(tmp, self._ckpt_path(session.id))
+
+    def _recover(self) -> int:
+        """Rebuild open sessions from checkpoints left by a dead server.
+
+        For each ``<sid>.ckpt.json``: truncate the spool to the
+        checkpointed offset (a crash mid-spill leaves a torn tail past
+        it — those events were never acknowledged as durable), replay
+        the surviving spool through a fresh analyzer, and re-open the
+        session at ``next_chunk = chunks-on-disk`` so the producer's
+        next append resumes exactly after the last durable chunk.
+        """
+        for stale in self.root.glob(".ckpt-*.tmp"):
+            stale.unlink(missing_ok=True)
+        recovered = 0
+        for ckpt in sorted(self.root.glob("*.ckpt.json")):
+            try:
+                blob = json.loads(ckpt.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                log.warning("stream recovery: unreadable checkpoint %s", ckpt)
+                continue
+            sid = str(blob.get("id") or ckpt.name[: -len(".ckpt.json")])
+            spool = self.root / f"{sid}.spool"
+            session = StreamSession(
+                sid,
+                name=str(blob.get("name", "")),
+                meta=dict(blob.get("meta") or {}),
+                spool_path=spool,
+                max_pending=int(blob.get("max_pending") or self.max_pending_chunks),
+            )
+            session.created_at = float(blob.get("created_at", session.created_at))
+            offset = int(blob.get("spool_offset", 0))
+            have = spool.stat().st_size if spool.exists() else 0
+            if have < offset:
+                # The spool lost acknowledged bytes (filesystem damage,
+                # manual truncation): chunk boundaries are unknowable, so
+                # restart the session from zero rather than serve a lie.
+                log.warning(
+                    "stream recovery: %s spool has %d bytes, checkpoint "
+                    "says %d; restarting session from chunk 0", sid, have, offset,
+                )
+                offset = 0
+                blob["chunks"] = 0
+                blob["events"] = 0
+                blob["bytes"] = 0
+            if have != offset:
+                # Torn tail from a crash mid-spill: drop it. Those events
+                # were never checkpointed, so the producer re-sends them.
+                with open(spool, "ab") as fh:
+                    fh.truncate(offset)
+            else:
+                spool.touch()
+            session.spool_offset = offset
+            session.next_chunk = session.ingested_chunks = int(blob.get("chunks", 0))
+            session.spooled_events = session.events = int(blob.get("events", 0))
+            session.bytes = int(blob.get("bytes", 0))
+            session.resumed = True
+            self._replay_spool(session)
+            self._sessions[sid] = session
+            recovered += 1
+            log.info(
+                "stream recovery: resumed session %s at chunk %d "
+                "(%d events replayed)", sid, session.next_chunk, session.events,
+            )
+        return recovered
+
+    def _replay_spool(self, session: StreamSession) -> None:
+        """Rebuild the incremental estimator from the durable spool."""
+        with open(session.spool_path, "rb") as fh:
+            while True:
+                block = np.fromfile(fh, dtype=EVENT_DTYPE, count=_REPLAY_BLOCK)
+                if len(block) == 0:
+                    break
+                session.analyzer.observe_batch(block)
 
     # -- the ingest thread ------------------------------------------------------
 
@@ -345,13 +486,21 @@ class StreamStore:
             # block producers posting to *other* sessions' queues.
             with open(session.spool_path, "ab") as fh:
                 fh.write(records.tobytes())
+                fh.flush()
+                os.fsync(fh.fileno())
+                offset = fh.tell()
             with session.alock:
                 session.analyzer.observe_batch(records)
             with self._lock:
                 session.pending.popleft()
                 session.ingested_chunks += 1
+                session.spool_offset = offset
+                session.spooled_events += len(records)
                 if not session.pending:
                     self._drained.notify_all()
+            # Checkpoint *after* the spool is durable (fsync above): the
+            # checkpoint never claims bytes the spool does not have.
+            self._write_checkpoint(session)
 
     def _next_pending(self) -> tuple[StreamSession | None, np.ndarray | None]:
         if self._paused and not self._closed:

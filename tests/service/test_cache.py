@@ -52,7 +52,31 @@ def test_disk_capacity_bound(tmp_path):
     cache = ResultCache(capacity=1, disk_dir=tmp_path, disk_capacity=2)
     for i in range(6):
         cache.put(f"k{i}", {"n": i})
-    assert cache._disk_count() <= 2
+    assert len(list(tmp_path.glob("*.json"))) <= 2
+    assert cache.stats()["disk_entries"] <= 2
+
+
+def test_disk_trim_drops_oldest_spill_first(tmp_path):
+    cache = ResultCache(capacity=1, disk_dir=tmp_path, disk_capacity=2)
+    for key in ("a", "b", "c", "d"):
+        cache.put(key, {"k": key})
+    # memory holds 'd'; spills were a, b, c — the 2-entry tier keeps the
+    # two newest spills and dropped 'a' first.
+    assert sorted(p.stem for p in tmp_path.glob("*.json")) == ["b", "c"]
+
+
+def test_trim_order_seeded_from_existing_tier(tmp_path):
+    first = ResultCache(capacity=1, disk_dir=tmp_path, disk_capacity=3)
+    for key in ("a", "b", "c", "d"):  # spills a, b, c (d stays in memory)
+        first.put(key, {"k": key})
+    # A fresh cache over the same directory inherits the tier and its
+    # oldest-first trim order: the next spill evicts 'a'.
+    second = ResultCache(capacity=1, disk_dir=tmp_path, disk_capacity=3)
+    assert second.stats()["disk_entries"] == 3
+    second.put("e", {"k": "e"})
+    second.put("f", {"k": "f"})  # evicts 'e' from memory -> tier trims 'a'
+    assert not (tmp_path / "a.json").exists()
+    assert second.get("b") == {"k": "b"}
 
 
 def test_torn_disk_entry_reads_as_miss(tmp_path):

@@ -1,0 +1,315 @@
+"""Crash-recovery suite: kill the service at the worst moments, restart,
+and assert nothing is lost, leaked, or silently wrong.
+
+Three crash sites, per the durability contract:
+
+* **mid-upload** — staging files and half-written store entries must be
+  reaped on restart, never served and never leaked;
+* **mid-spill** — a torn result-cache entry must read as a miss;
+* **mid-stream** — an open chunked-append session must be rebuilt from
+  its checkpoint; the producer resumes from the last acknowledged chunk
+  and the finalized digest is byte-identical to a batch upload.
+
+"Kill" here means dropping every in-memory object and re-opening the
+same data directory, after mutilating the on-disk state exactly the way
+an untimely SIGKILL would have left it.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.api import ServiceAPI
+from repro.service.cache import ResultCache
+from repro.service.store import TraceStore
+from repro.trace import trace_digest, write_trace
+from repro.trace.framing import encode_records_frame, split_records
+from repro.trace.schema import EVENT_DTYPE
+from repro.trace.writer import header_dict
+
+from tests.conftest import make_micro_program
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return make_micro_program().run().trace
+
+
+# ---------------------------------------------------------------------------
+# Mid-upload crashes (trace store).
+# ---------------------------------------------------------------------------
+
+
+class TestUploadCrash:
+    def test_stale_staging_files_reaped(self, tmp_path, micro):
+        store = TraceStore(tmp_path)
+        store.put_trace(micro)
+        # A crashed put_bytes/put_trace leaves unique staging files.
+        (tmp_path / ".upload-deadc0de.tmp").write_bytes(b"half an upload")
+        (tmp_path / ".stage-deadc0de.tmp").write_bytes(b"half a store write")
+        reopened = TraceStore(tmp_path)
+        assert len(reopened) == 1
+        assert not list(tmp_path.glob(".upload-*.tmp"))
+        assert not list(tmp_path.glob(".stage-*.tmp"))
+
+    def test_orphan_body_without_sidecar_reaped(self, tmp_path, micro):
+        store = TraceStore(tmp_path)
+        entry = store.put_trace(micro)
+        # Crash between the body write and the sidecar write: a valid
+        # .clt with no .meta.json. Pre-fix this was skipped forever.
+        orphan = tmp_path / f"{'a' * 64}.clt"
+        orphan.write_bytes(entry.path.read_bytes())
+        reopened = TraceStore(tmp_path)
+        assert len(reopened) == 1
+        assert not orphan.exists()
+
+    def test_torn_body_never_visible(self, tmp_path, micro):
+        """put_trace stages then os.replace()s: at no point can a
+        half-written .clt sit at its final path.  Simulate the old
+        failure (torn file at the final path, sidecar landed) and show
+        the sidecar-after-body ordering makes it unreachable."""
+        store = TraceStore(tmp_path)
+        entry = store.put_trace(micro)
+        # the sidecar is written after the body, so a torn body implies
+        # no sidecar -> orphan -> reaped. A torn body *with* a sidecar
+        # would need the crash to reorder writes we issue sequentially.
+        assert json.loads(
+            (tmp_path / f"{entry.digest}.meta.json").read_text()
+        )["digest"] == entry.digest
+
+    def test_concurrent_upload_staging_never_collides(self, tmp_path, micro):
+        """Unique staging names: a leftover from a crashed upload cannot
+        be clobbered or adopted by an unrelated concurrent upload."""
+        store = TraceStore(tmp_path)
+        leftover = tmp_path / ".upload-00000000000000000000000000000000.tmp"
+        leftover.write_bytes(b"crashed upload residue")
+        data = write_trace(micro, tmp_path / "up.clt").read_bytes()
+        entry = store.put_bytes(data)
+        assert leftover.read_bytes() == b"crashed upload residue"
+        assert entry.digest == trace_digest(micro)
+        (tmp_path / "up.clt").unlink()
+
+
+# ---------------------------------------------------------------------------
+# Mid-spill crashes (result cache).
+# ---------------------------------------------------------------------------
+
+
+class TestSpillCrash:
+    def test_torn_spill_is_a_miss_after_restart(self, tmp_path):
+        cache = ResultCache(capacity=1, disk_dir=tmp_path)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})  # spills 'a'
+        # Crash mid-spill of 'c': torn JSON at the final path.
+        (tmp_path / "c.json").write_text('{"n": ')
+        reopened = ResultCache(capacity=1, disk_dir=tmp_path)
+        assert reopened.get("c") is None  # miss, not an exception
+        assert reopened.get("a") == {"n": 1}  # healthy entries unaffected
+        assert reopened.stats()["misses"] == 1
+
+    def test_tier_order_self_heals_after_torn_entry(self, tmp_path):
+        cache = ResultCache(capacity=1, disk_dir=tmp_path, disk_capacity=4)
+        (tmp_path / "torn.json").write_text("{")
+        reopened = ResultCache(capacity=1, disk_dir=tmp_path, disk_capacity=4)
+        assert reopened.get("torn") is None
+        # The unreadable key is dropped from the trim order, not kept
+        # forever as a phantom entry.
+        assert reopened.stats()["disk_entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Mid-stream crashes (checkpointed sessions). The acceptance test.
+# ---------------------------------------------------------------------------
+
+
+def _chunks(trace, chunk_events=7):
+    return list(split_records(trace.records, chunk_events))
+
+
+def _send(api, sid, chunks, start=0):
+    for cid, block in enumerate(chunks[start:], start=start):
+        status, ack = api.handle(
+            "POST", f"/traces/{sid}/chunks", encode_records_frame(block, cid)
+        )
+        assert status == 202, ack
+    return ack
+
+
+def _wait_drained(api, sid, timeout=10.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, status = api.handle("GET", f"/streams/{sid}")
+        if status["pending_chunks"] == 0:
+            return status
+        time.sleep(0.01)
+    raise AssertionError(f"ingest never drained: {status}")
+
+
+class TestStreamCrash:
+    def test_restart_resumes_from_last_acked_chunk(self, tmp_path, micro):
+        """Server killed mid-stream; restarted; producer resumes from the
+        durable chunk; finalize digest == batch-upload digest."""
+        chunks = _chunks(micro)
+        assert len(chunks) >= 4
+        api = ServiceAPI(tmp_path / "svc", workers=0)
+        _, session = api.handle(
+            "POST", "/streams", json.dumps({"name": "crashy"}).encode()
+        )
+        sid = session["id"]
+        half = len(chunks) // 2
+        _send(api, sid, chunks[:half])
+        _wait_drained(api, sid)
+        api.close()  # SIGKILL stand-in: no finalize, no cleanup
+
+        api2 = ServiceAPI(tmp_path / "svc", workers=0)
+        status, resumed = api2.handle("GET", f"/streams/{sid}")
+        assert status == 200, "restarted server must not 404 an open session"
+        assert resumed["resumed"] is True
+        assert resumed["chunks"] == half  # next expected = last durable + 1
+
+        # Producer resumes; overlapping re-sends are idempotent duplicates.
+        _send(api2, sid, chunks, start=max(0, half - 1))
+        _wait_drained(api2, sid)
+        status, out = api2.handle(
+            "POST", f"/traces/{sid}/finalize",
+            json.dumps({"header": header_dict(micro)}).encode(),
+        )
+        assert status == 200, out
+        assert out["trace"]["digest"] == trace_digest(micro)
+        # The rebuilt incremental analyzer saw every event exactly once.
+        assert out["snapshot"]["events"] == len(micro)
+        api2.close()
+
+    def test_torn_spool_tail_truncated(self, tmp_path, micro):
+        """Crash mid-spill leaves a partial chunk past the checkpoint;
+        recovery drops it and the producer re-sends that chunk."""
+        chunks = _chunks(micro)
+        api = ServiceAPI(tmp_path / "svc", workers=0)
+        _, session = api.handle("POST", "/streams", b"{}")
+        sid = session["id"]
+        _send(api, sid, chunks[:2])
+        _wait_drained(api, sid)
+        api.close()
+
+        spool = tmp_path / "svc" / "streams" / f"{sid}.spool"
+        durable = spool.stat().st_size
+        with open(spool, "ab") as fh:
+            fh.write(b"\x01" * (EVENT_DTYPE.itemsize + 3))  # torn tail
+
+        api2 = ServiceAPI(tmp_path / "svc", workers=0)
+        assert spool.stat().st_size == durable  # tail gone
+        _, resumed = api2.handle("GET", f"/streams/{sid}")
+        assert resumed["chunks"] == 2
+        _send(api2, sid, chunks, start=2)
+        _wait_drained(api2, sid)
+        _, out = api2.handle(
+            "POST", f"/traces/{sid}/finalize",
+            json.dumps({"header": header_dict(micro)}).encode(),
+        )
+        assert out["trace"]["digest"] == trace_digest(micro)
+        api2.close()
+
+    def test_lost_spool_restarts_session_from_zero(self, tmp_path, micro):
+        chunks = _chunks(micro)
+        api = ServiceAPI(tmp_path / "svc", workers=0)
+        _, session = api.handle("POST", "/streams", b"{}")
+        sid = session["id"]
+        _send(api, sid, chunks[:3])
+        _wait_drained(api, sid)
+        api.close()
+
+        (tmp_path / "svc" / "streams" / f"{sid}.spool").unlink()
+        api2 = ServiceAPI(tmp_path / "svc", workers=0)
+        _, resumed = api2.handle("GET", f"/streams/{sid}")
+        assert resumed["chunks"] == 0  # honest: nothing durable survived
+        _send(api2, sid, chunks)
+        _wait_drained(api2, sid)
+        _, out = api2.handle(
+            "POST", f"/traces/{sid}/finalize",
+            json.dumps({"header": header_dict(micro)}).encode(),
+        )
+        assert out["trace"]["digest"] == trace_digest(micro)
+        api2.close()
+
+    def test_rebuilt_analyzer_matches_uninterrupted_snapshot(self, tmp_path, micro):
+        """The replayed spool rebuilds the estimator to the same state an
+        uninterrupted server would hold."""
+        chunks = _chunks(micro)
+        half = len(chunks) // 2
+
+        api = ServiceAPI(tmp_path / "a", workers=0)
+        _, session = api.handle("POST", "/streams", b"{}")
+        sid = session["id"]
+        _send(api, sid, chunks[:half])
+        _wait_drained(api, sid)
+        api.close()
+        api2 = ServiceAPI(tmp_path / "a", workers=0)
+        _, resumed_snap = api2.handle("GET", f"/streams/{sid}/snapshot")
+
+        ref = ServiceAPI(tmp_path / "b", workers=0)
+        _, rsession = ref.handle("POST", "/streams", b"{}")
+        _send(ref, rsession["id"], chunks[:half])
+        _wait_drained(ref, rsession["id"])
+        _, ref_snap = ref.handle("GET", f"/streams/{rsession['id']}/snapshot")
+
+        for snap in (resumed_snap, ref_snap):
+            for volatile in ("session", "elapsed", "state", "pending_chunks"):
+                snap.pop(volatile, None)
+        assert resumed_snap == ref_snap
+        ref.close()
+        api2.close()
+
+    def test_finalized_sessions_not_recovered(self, tmp_path, micro):
+        chunks = _chunks(micro)
+        api = ServiceAPI(tmp_path / "svc", workers=0)
+        _, session = api.handle("POST", "/streams", b"{}")
+        sid = session["id"]
+        _send(api, sid, chunks)
+        _wait_drained(api, sid)
+        _, out = api.handle(
+            "POST", f"/traces/{sid}/finalize",
+            json.dumps({"header": header_dict(micro)}).encode(),
+        )
+        assert out["trace"]["digest"] == trace_digest(micro)
+        api.close()
+
+        api2 = ServiceAPI(tmp_path / "svc", workers=0)
+        assert api2.streams.recovered_sessions == 0
+        status, _ = api2.handle("GET", f"/streams/{sid}")
+        assert status == 404
+        api2.close()
+
+    def test_recovery_is_crash_safe_itself(self, tmp_path, micro):
+        """A corrupt checkpoint (torn tmp rename is impossible, but disk
+        rot is not) is skipped with a warning, not a boot failure."""
+        api = ServiceAPI(tmp_path / "svc", workers=0)
+        _, session = api.handle("POST", "/streams", b"{}")
+        api.close()
+        streams = tmp_path / "svc" / "streams"
+        (streams / "deadbeef.ckpt.json").write_text("{torn")
+        (streams / ".ckpt-junk.tmp").write_text("{}")
+        api2 = ServiceAPI(tmp_path / "svc", workers=0)  # boots
+        assert api2.streams.recovered_sessions == 1  # the healthy one
+        assert not (streams / ".ckpt-junk.tmp").exists()
+        api2.close()
+
+    def test_spooled_counts_survive_restart(self, tmp_path, micro):
+        chunks = _chunks(micro)
+        api = ServiceAPI(tmp_path / "svc", workers=0)
+        _, session = api.handle("POST", "/streams", b"{}")
+        sid = session["id"]
+        ack = _send(api, sid, chunks[:3])
+        _wait_drained(api, sid)
+        assert ack["durable_chunk"] <= 3
+        api.close()
+        api2 = ServiceAPI(tmp_path / "svc", workers=0)
+        _, resumed = api2.handle("GET", f"/streams/{sid}")
+        expected_events = sum(len(c) for c in chunks[:3])
+        assert resumed["events"] == expected_events
+        assert np.fromfile(
+            tmp_path / "svc" / "streams" / f"{sid}.spool", dtype=EVENT_DTYPE
+        ).shape[0] == expected_events
+        api2.close()
